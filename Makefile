@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench report examples fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# One benchmark per table/figure of the paper (see EXPERIMENTS.md).
+bench:
+	go test -bench=. -benchmem ./...
+
+# The full formatted evaluation report at paper scale.
+report:
+	go run ./cmd/benchrunner -out experiments_report.txt -json experiments_report.json
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/homes
+	go run ./examples/products
+	go run ./examples/workloadtuning
+	go run ./examples/personalization
+	go run ./examples/webclient
+
+# Short fuzzing passes over the parser and CSV loader.
+fuzz:
+	go test ./internal/sqlparse -fuzz=FuzzParse -fuzztime=30s
+	go test ./internal/sqlparse -fuzz=FuzzConditionOverlap -fuzztime=15s
+	go test ./internal/relation -fuzz=FuzzReadCSV -fuzztime=30s
+
+clean:
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sqlparse"
+)
+
+// AdaptiveSystem wraps a System and learns from the queries it serves: every
+// explored query is folded into the workload statistics incrementally, so
+// the count tables — and therefore future category trees — track the live
+// query stream instead of a frozen log. This is the online continuation of
+// the paper's offline preprocessing phase. All methods are safe for
+// concurrent use.
+type AdaptiveSystem struct {
+	mu  sync.RWMutex
+	sys *System
+	// learned counts queries folded in since construction.
+	learned int
+}
+
+// Adaptive wraps the system for online learning. The system must have been
+// built from a raw workload (WorkloadSQL or WorkloadReader): incremental
+// updates need the preprocessing configuration and, when correlations are
+// enabled, the retained per-query conditions.
+func (s *System) Adaptive() (*AdaptiveSystem, error) {
+	if s.wl == nil {
+		return nil, fmt.Errorf("repro: Adaptive requires a system built from a raw workload")
+	}
+	return &AdaptiveSystem{sys: s}, nil
+}
+
+// Explore runs one query end to end under the read lock: execute, build the
+// tree with the given technique and options, and return the tree plus the
+// result size. Passing learn folds the query into the statistics afterwards.
+func (a *AdaptiveSystem) Explore(sql string, tech Technique, opts Options, learn bool) (*Tree, int, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	a.mu.RLock()
+	res := a.sys.QueryParsed(q)
+	tree, err := res.CategorizeWith(tech, opts)
+	a.mu.RUnlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	if learn {
+		a.learn(q)
+	}
+	return tree, res.Len(), nil
+}
+
+// Learn folds one query into the workload statistics without executing it
+// (e.g. queries observed elsewhere in the application).
+func (a *AdaptiveSystem) Learn(sql string) error {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	a.learn(q)
+	return nil
+}
+
+func (a *AdaptiveSystem) learn(q *Query) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sys.stats.AddQuery(q, a.sys.wcfg)
+	a.sys.wl.Queries = append(a.sys.wl.Queries, q)
+	if a.sys.corr != nil {
+		a.sys.corr.Add(q, a.sys.wcfg)
+	}
+	a.learned++
+}
+
+// Learned reports how many queries have been folded in since construction.
+func (a *AdaptiveSystem) Learned() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.learned
+}
+
+// WorkloadSize returns the current number of mined queries (original
+// workload plus everything learned).
+func (a *AdaptiveSystem) WorkloadSize() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.sys.stats.N()
+}
+
+// Snapshot runs f under the read lock with the underlying System, for
+// read-only operations beyond Explore (rendering stats, building rankers).
+// f must not retain the *System or mutate it.
+func (a *AdaptiveSystem) Snapshot(f func(*System)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	f(a.sys)
+}

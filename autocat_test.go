@@ -1,0 +1,456 @@
+package repro_test
+
+// autocat_test.go exercises the public facade exactly the way an external
+// consumer would: generate data, open a system, query, categorize, explore.
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *repro.System
+	sysErr  error
+)
+
+// demoSystem builds one shared small system for the facade tests.
+func demoSystem(t *testing.T) *repro.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		rel := repro.DemoDataset(5000, 1)
+		sysVal, sysErr = repro.NewSystem(rel, repro.Config{
+			WorkloadSQL: repro.DemoWorkloadSQL(3000, 2),
+			Intervals:   repro.DemoIntervals(),
+		})
+	})
+	if sysErr != nil {
+		t.Fatalf("NewSystem: %v", sysErr)
+	}
+	return sysVal
+}
+
+const homesSQL = "SELECT * FROM ListProperty WHERE neighborhood IN " +
+	"('Seattle, WA','Bellevue, WA','Redmond, WA','Kirkland, WA','Issaquah, WA','Sammamish, WA'," +
+	"'Renton, WA','Bothell, WA','Mercer Island, WA','Woodinville, WA') " +
+	"AND price BETWEEN 200000 AND 300000"
+
+func TestSystemQueryAndCategorize(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("the Homes query returned no rows")
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatalf("Categorize: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if tree.Root.Size() != res.Len() {
+		t.Fatalf("root size %d != result size %d", tree.Root.Size(), res.Len())
+	}
+	if res.Len() > 20 && tree.Depth() == 0 {
+		t.Fatal("large result not categorized")
+	}
+}
+
+func TestSystemQueryParseError(t *testing.T) {
+	sys := demoSystem(t)
+	if _, err := sys.Query("DROP TABLE ListProperty"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := repro.NewSystem(nil, repro.Config{}); err == nil {
+		t.Fatal("nil relation should error")
+	}
+	rel := repro.DemoDataset(10, 1)
+	if _, err := repro.NewSystem(rel, repro.Config{}); err == nil {
+		t.Fatal("config without workload should error")
+	}
+	if _, err := repro.NewSystem(rel, repro.Config{WorkloadSQL: []string{"not sql"}}); err == nil {
+		t.Fatal("malformed workload should error")
+	}
+}
+
+func TestNewSystemFromReader(t *testing.T) {
+	rel := repro.DemoDataset(100, 1)
+	log := strings.Join([]string{
+		"SELECT * FROM ListProperty WHERE price BETWEEN 100000 AND 200000",
+		"garbage line",
+		"SELECT * FROM ListProperty WHERE bedroomcount >= 3",
+	}, "\n")
+	sys, err := repro.NewSystem(rel, repro.Config{WorkloadReader: strings.NewReader(log)})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if sys.Stats().N() != 2 {
+		t.Fatalf("mined %d queries; want 2 (garbage skipped)", sys.Stats().N())
+	}
+}
+
+func TestBrowse(t *testing.T) {
+	sys := demoSystem(t)
+	res := sys.Browse()
+	if res.Len() != sys.Relation().Len() {
+		t.Fatalf("Browse len %d != relation len %d", res.Len(), sys.Relation().Len())
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatalf("Categorize(browse): %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorizeWithTechniques(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]float64{}
+	for _, tech := range []repro.Technique{repro.CostBased, repro.AttrCost, repro.NoCost} {
+		tree, err := res.CategorizeWith(tech, repro.Options{M: 20})
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		costs[tech.String()] = repro.EstimateCostAll(tree)
+	}
+	if costs["Cost-based"] > costs["No cost"]+1e-9 {
+		t.Errorf("cost-based (%v) should not exceed no-cost (%v)", costs["Cost-based"], costs["No cost"])
+	}
+	if _, err := res.CategorizeWith(repro.Technique(42), repro.Options{}); err == nil {
+		t.Fatal("unknown technique should error")
+	}
+}
+
+func TestEstimateAndSimulate(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	estAll := repro.EstimateCostAll(tree)
+	estOne := repro.EstimateCostOne(tree, 0.5)
+	if estAll <= 0 || estOne <= 0 {
+		t.Fatalf("estimates: all=%v one=%v", estAll, estOne)
+	}
+	if estOne > estAll {
+		t.Errorf("ONE estimate (%v) should not exceed ALL estimate (%v)", estOne, estAll)
+	}
+	intentQ, err := repro.ParseQuery("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 225000 AND 250000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &repro.Intent{Query: intentQ}
+	all := repro.SimulateAll(tree, in)
+	one := repro.SimulateOne(tree, in)
+	if all.RelevantFound != all.RelevantTotal {
+		t.Errorf("deterministic ALL found %d of %d", all.RelevantFound, all.RelevantTotal)
+	}
+	if all.RelevantTotal > 0 && !one.Found {
+		t.Error("ONE exploration failed to find an existing relevant tuple")
+	}
+	if one.TuplesExamined > all.TuplesExamined {
+		t.Error("ONE examined more tuples than ALL")
+	}
+}
+
+func TestRenderTreeFacade(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := repro.RenderTree(tree, repro.RenderOptions{MaxDepth: 1, MaxChildren: 3})
+	if !strings.HasPrefix(out, "ALL (") {
+		t.Fatalf("render missing root: %q", out[:min(60, len(out))])
+	}
+}
+
+func TestStatsSaveLoadFacade(t *testing.T) {
+	sys := demoSystem(t)
+	var buf bytes.Buffer
+	if err := repro.SaveStats(sys.Stats(), &buf); err != nil {
+		t.Fatalf("SaveStats: %v", err)
+	}
+	loaded, err := repro.LoadStats(&buf)
+	if err != nil {
+		t.Fatalf("LoadStats: %v", err)
+	}
+	rel := sys.Relation()
+	sys2, err := repro.NewSystem(rel, repro.Config{Stats: loaded})
+	if err != nil {
+		t.Fatalf("NewSystem(Stats): %v", err)
+	}
+	res, err := sys2.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same stats must give the same tree structure.
+	orig, _ := demoSystem(t).QueryParsed(res.Query).Categorize()
+	if repro.EstimateCostAll(tree) != repro.EstimateCostAll(orig) {
+		t.Error("tree built from persisted stats differs from original")
+	}
+}
+
+func TestBuildCustomRelation(t *testing.T) {
+	schema, err := repro.NewSchema(
+		repro.Attribute{Name: "category", Type: repro.Categorical},
+		repro.Attribute{Name: "price", Type: repro.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := repro.NewRelation("Products", schema)
+	for i := 0; i < 100; i++ {
+		cat := "books"
+		if i%3 == 0 {
+			cat = "music"
+		}
+		rel.MustAppend(repro.Tuple{
+			{Str: cat},
+			{Num: float64(5 + i%40)},
+		})
+	}
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: []string{
+			"SELECT * FROM Products WHERE category IN ('books')",
+			"SELECT * FROM Products WHERE category IN ('music') AND price BETWEEN 10 AND 20",
+			"SELECT * FROM Products WHERE price <= 25",
+		},
+		DefaultInterval: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sys.Browse().CategorizeOpts(repro.Options{M: 10, X: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() == 0 {
+		t.Fatal("custom-domain relation not categorized")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPersonalize(t *testing.T) {
+	sys := demoSystem(t)
+	history := []string{
+		"SELECT * FROM ListProperty WHERE yearbuilt <= 1940",
+		"SELECT * FROM ListProperty WHERE yearbuilt BETWEEN 1900 AND 1950",
+	}
+	personal, err := sys.Personalize(history, 2000)
+	if err != nil {
+		t.Fatalf("Personalize: %v", err)
+	}
+	if personal.Stats().UsageFraction("yearbuilt") <= sys.Stats().UsageFraction("yearbuilt") {
+		t.Error("personal history should raise yearbuilt usage")
+	}
+	// The base system is unchanged.
+	if sys.Stats().N() == personal.Stats().N() {
+		t.Error("personalized stats should include the repeated history")
+	}
+	if _, err := sys.Personalize([]string{"not sql"}, 1); err == nil {
+		t.Error("malformed history should error")
+	}
+}
+
+func TestPersonalizeRequiresRawWorkload(t *testing.T) {
+	sys := demoSystem(t)
+	var buf bytes.Buffer
+	if err := repro.SaveStats(sys.Stats(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repro.LoadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsOnly, err := repro.NewSystem(sys.Relation(), repro.Config{Stats: loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := statsOnly.Personalize([]string{"SELECT * FROM ListProperty WHERE price >= 1"}, 1); err == nil {
+		t.Fatal("stats-only system should refuse Personalize")
+	}
+}
+
+func TestCorrelationsConfig(t *testing.T) {
+	rel := repro.DemoDataset(3000, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL:  repro.DemoWorkloadSQL(2000, 2),
+		Intervals:    repro.DemoIntervals(),
+		Correlations: true,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem(Correlations): %v", err)
+	}
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range []repro.Technique{repro.CostBased, repro.NoCost} {
+		tree, err := res.CategorizeWith(tech, repro.Options{M: 20})
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+	}
+	// Stats-only + Correlations must be rejected.
+	var buf bytes.Buffer
+	if err := repro.SaveStats(sys.Stats(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := repro.LoadStats(&buf)
+	if _, err := repro.NewSystem(rel, repro.Config{Stats: loaded, Correlations: true}); err == nil {
+		t.Fatal("Correlations with precomputed Stats should error")
+	}
+}
+
+func TestRefineQueryFacade(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Skip("trivial tree")
+	}
+	refined, err := tree.RefineQuery(res.Query, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := sys.QueryParsed(refined)
+	if res2.Len() != tree.Root.Children[0].Size() {
+		t.Fatalf("refined result %d != category size %d", res2.Len(), tree.Root.Children[0].Size())
+	}
+}
+
+func TestFacadeTreePersistence(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.SaveTree(tree, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repro.LoadTree(&buf, sys.Relation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.EstimateCostAll(loaded) != repro.EstimateCostAll(tree) {
+		t.Fatal("loaded tree cost differs")
+	}
+}
+
+func TestFacadeDOTAndFew(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := repro.RenderDOT(tree, repro.DOTOptions{MaxDepth: 1})
+	if !strings.HasPrefix(dot, "digraph categorization {") {
+		t.Fatalf("DOT output malformed: %q", dot[:min(40, len(dot))])
+	}
+	q, err := repro.ParseQuery("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &repro.Intent{Query: q}
+	few := repro.SimulateFew(tree, in, 3)
+	one := repro.SimulateOne(tree, in)
+	all := repro.SimulateAll(tree, in)
+	if few.RelevantFound > 3 {
+		t.Fatalf("Few(3) found %d", few.RelevantFound)
+	}
+	if few.Cost(1) < one.Cost(1) || few.Cost(1) > all.Cost(1) {
+		t.Fatalf("Few cost %v outside [One %v, All %v]", few.Cost(1), one.Cost(1), all.Cost(1))
+	}
+}
+
+func TestFacadeSession(t *testing.T) {
+	sys := demoSystem(t)
+	res, err := sys.Query(homesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := res.Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Skip("trivial tree")
+	}
+	s := repro.NewSession(tree)
+	labels, err := s.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(tree.Root.Children) {
+		t.Fatalf("labels = %d; want %d", len(labels), len(tree.Root.Children))
+	}
+	rows, err := s.ShowTuples([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRelevant(rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if sum.RelevantFound != 1 || sum.LabelsExamined != len(labels) || sum.TuplesExamined != len(rows) {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

@@ -1,0 +1,244 @@
+// Command catexplore is an interactive shell over a (generated or loaded)
+// home-listing database: type SQL queries and browse their automatically
+// categorized results — the text-mode equivalent of the paper's treeview UI.
+//
+// Usage:
+//
+//	catexplore [-rows N] [-queries N] [-seed N] [-workload file] [-m N] [-x F] [-k F] [-technique cost|attr|nocost]
+//
+// Then at the prompt:
+//
+//	> SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 200000 AND 400000
+//	> .browse              categorize the whole table
+//	> .depth 3             set rendering depth
+//	> .help                list commands
+//	> .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 20000, "synthetic dataset size")
+		queries   = flag.Int("queries", 10000, "synthetic workload size")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		wlFile    = flag.String("workload", "", "path to a SQL query log (one statement per line); replaces the synthetic workload")
+		m         = flag.Int("m", 20, "max tuples per category (M)")
+		x         = flag.Float64("x", 0.4, "attribute elimination threshold")
+		k         = flag.Float64("k", 1, "label examination cost (K)")
+		technique = flag.String("technique", "cost", "categorization technique: cost, attr, or nocost")
+	)
+	flag.Parse()
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %d homes and %d workload queries…\n", *rows, *queries)
+	rel := repro.DemoDataset(*rows, *seed)
+	cfg := repro.Config{Intervals: repro.DemoIntervals()}
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.WorkloadReader = f
+	} else {
+		cfg.WorkloadSQL = repro.DemoWorkloadSQL(*queries, *seed+1)
+	}
+	sys, err := repro.NewSystem(rel, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := repro.Options{M: *m, X: *x, K: *k}
+
+	fmt.Fprintf(os.Stderr, "ready — %d homes, %d mined queries. Type .help for commands.\n",
+		rel.Len(), sys.Stats().N())
+
+	renderOpts := repro.RenderOptions{MaxDepth: 2, MaxChildren: 8}
+	var (
+		lastRes  *repro.Result
+		lastTree *repro.Tree
+		ranked   bool
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(`commands:
+  SELECT …            run a query and categorize its result
+  .browse             categorize the entire table
+  .drill I [J …]      refine the last query to the category at child path I J …
+  .rank               toggle workload-popularity ranking of tuples
+  .stats              show workload attribute usage (what drives elimination)
+  .dot [file]         dump the last tree as Graphviz (stdout or file)
+  .depth N            set rendering depth (0 = unlimited)
+  .children N         max children rendered per node (0 = unlimited)
+  .probs              toggle probability annotations
+  .technique T        cost | attr | nocost
+  .m N  .x F  .k F    categorizer parameters
+  .quit`)
+		case line == ".browse":
+			lastRes, lastTree = show(sys, sys.Browse(), tech, opts, renderOpts, ranked)
+		case line == ".rank":
+			ranked = !ranked
+			fmt.Printf("ranking: %v\n", ranked)
+		case line == ".stats":
+			stats := sys.Stats()
+			fmt.Printf("%d mined queries; attribute usage (x = %.2f retains those above the line):\n", stats.N(), opts.X)
+			for _, attr := range stats.AttrsByUsage() {
+				frac := stats.UsageFraction(attr)
+				marker := " "
+				if frac >= opts.X {
+					marker = "*"
+				}
+				fmt.Printf("  %s %-20s %.3f\n", marker, attr, frac)
+			}
+		case strings.HasPrefix(line, ".dot"):
+			if lastTree == nil {
+				fmt.Println("no previous tree")
+				break
+			}
+			dot := repro.RenderDOT(lastTree, repro.DOTOptions{MaxDepth: renderOpts.MaxDepth, MaxChildren: renderOpts.MaxChildren})
+			if target := strings.TrimSpace(line[4:]); target != "" {
+				if err := os.WriteFile(target, []byte(dot), 0o644); err != nil {
+					fmt.Println(err)
+				} else {
+					fmt.Printf("wrote %s\n", target)
+				}
+			} else {
+				fmt.Print(dot)
+			}
+		case strings.HasPrefix(line, ".drill"):
+			if lastTree == nil || lastRes == nil {
+				fmt.Println("no previous query to drill into")
+				break
+			}
+			path, err := parsePath(line[len(".drill"):])
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			refined, err := lastTree.RefineQuery(lastRes.Query, path)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("refined query: %s\n", refined)
+			lastRes, lastTree = show(sys, sys.QueryParsed(refined), tech, opts, renderOpts, ranked)
+		case line == ".probs":
+			renderOpts.ShowProbabilities = !renderOpts.ShowProbabilities
+			fmt.Printf("probabilities: %v\n", renderOpts.ShowProbabilities)
+		case strings.HasPrefix(line, ".depth "):
+			renderOpts.MaxDepth = atoiOr(line[7:], renderOpts.MaxDepth)
+		case strings.HasPrefix(line, ".children "):
+			renderOpts.MaxChildren = atoiOr(line[10:], renderOpts.MaxChildren)
+		case strings.HasPrefix(line, ".technique "):
+			if t, err := parseTechnique(strings.TrimSpace(line[11:])); err != nil {
+				fmt.Println(err)
+			} else {
+				tech = t
+				fmt.Printf("technique: %v\n", tech)
+			}
+		case strings.HasPrefix(line, ".m "):
+			opts.M = atoiOr(line[3:], opts.M)
+		case strings.HasPrefix(line, ".x "):
+			opts.X = atofOr(line[3:], opts.X)
+		case strings.HasPrefix(line, ".k "):
+			opts.K = atofOr(line[3:], opts.K)
+		case strings.HasPrefix(strings.ToUpper(line), "SELECT"):
+			res, err := sys.Query(line)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			lastRes, lastTree = show(sys, res, tech, opts, renderOpts, ranked)
+		default:
+			fmt.Println("unrecognized input; type .help")
+		}
+		fmt.Print("> ")
+	}
+}
+
+func show(sys *repro.System, res *repro.Result, tech repro.Technique, opts repro.Options, ro repro.RenderOptions, ranked bool) (*repro.Result, *repro.Tree) {
+	fmt.Printf("%d tuples.\n", res.Len())
+	tree, err := res.CategorizeWith(tech, opts)
+	if err != nil {
+		fmt.Println(err)
+		return res, nil
+	}
+	if ranked {
+		repro.RankTree(sys.Ranker(), tree)
+	}
+	fmt.Printf("levels %v, %d categories, estimated exploration cost %.0f (ALL) / %.0f (ONE)\n",
+		tree.LevelAttrs, tree.NodeCount(),
+		repro.EstimateCostAll(tree), repro.EstimateCostOne(tree, 0.5))
+	fmt.Print(repro.RenderTree(tree, ro))
+	return res, tree
+}
+
+// parsePath parses the space-separated child indexes of a .drill command.
+func parsePath(args string) ([]int, error) {
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("usage: .drill I [J …]")
+	}
+	path := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad path element %q", f)
+		}
+		path[i] = v
+	}
+	return path, nil
+}
+
+func parseTechnique(s string) (repro.Technique, error) {
+	switch strings.ToLower(s) {
+	case "cost", "cost-based", "costbased":
+		return repro.CostBased, nil
+	case "attr", "attr-cost", "attrcost":
+		return repro.AttrCost, nil
+	case "nocost", "no-cost", "no":
+		return repro.NoCost, nil
+	default:
+		return 0, fmt.Errorf("unknown technique %q (want cost, attr, or nocost)", s)
+	}
+}
+
+func atoiOr(s string, def int) int {
+	if v, err := strconv.Atoi(strings.TrimSpace(s)); err == nil {
+		return v
+	}
+	fmt.Println("not a number; value unchanged")
+	return def
+}
+
+func atofOr(s string, def float64) float64 {
+	if v, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		return v
+	}
+	fmt.Println("not a number; value unchanged")
+	return def
+}

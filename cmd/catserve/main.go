@@ -1,0 +1,84 @@
+// Command catserve runs the categorization HTTP service over a generated
+// (or CSV-loaded) dataset.
+//
+// Usage:
+//
+//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn]
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/query -d '{"sql":"SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000","maxDepth":2}'
+//	curl -X POST localhost:8080/v1/refine -d '{"sql":"…","path":[0,1]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		rows    = flag.Int("rows", 20000, "synthetic dataset size (ignored with -csv)")
+		queries = flag.Int("queries", 10000, "synthetic workload size (ignored with -workload)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		csvPath = flag.String("csv", "", "load the relation from this CSV instead of generating")
+		wlPath  = flag.String("workload", "", "load the workload from this SQL log instead of generating")
+		corr    = flag.Bool("correlations", false, "enable the path-conditional probability model")
+		learn   = flag.Bool("learn", false, "fold every served query into the workload statistics")
+	)
+	flag.Parse()
+
+	var rel *repro.Relation
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err = relation.ReadCSV("ListProperty", f, nil)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rel = repro.DemoDataset(*rows, *seed)
+	}
+
+	cfg := repro.Config{Intervals: repro.DemoIntervals(), Correlations: *corr}
+	if *wlPath != "" {
+		f, err := os.Open(*wlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.WorkloadReader = f
+	} else {
+		cfg.WorkloadSQL = repro.DemoWorkloadSQL(*queries, *seed+1)
+	}
+	sys, err := repro.NewSystem(rel, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{System: sys, MaxDepth: 6, MaxChildren: 200, Learn: *learn})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("catserve: %d rows, %d workload queries, listening on %s\n",
+		rel.Len(), sys.Stats().N(), *addr)
+	log.Fatal(hs.ListenAndServe())
+}

@@ -1,0 +1,128 @@
+// Command datagen materializes the synthetic evaluation substrate to files:
+// the ListProperty table as CSV, the buyer workload as a SQL log (one
+// statement per line), and optionally the preprocessed count tables as a gob
+// blob that NewSystem can load directly (Config.Stats).
+//
+// Usage:
+//
+//	datagen [-rows N] [-queries N] [-seed N] [-dir DIR] [-stats]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 20000, "dataset size")
+		queries   = flag.Int("queries", 10000, "workload size")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		dir       = flag.String("dir", ".", "output directory")
+		withStats = flag.Bool("stats", false, "also write preprocessed count tables (stats.gob)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	rel := datagen.Dataset(datagen.DatasetConfig{Rows: *rows, Seed: *seed})
+	csvPath := filepath.Join(*dir, "listproperty.csv")
+	if err := writeCSV(csvPath, rel); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows × %d columns)\n", csvPath, rel.Len(), rel.Schema().Len())
+
+	sql := datagen.WorkloadSQL(datagen.WorkloadConfig{Queries: *queries, Seed: *seed + 1})
+	sqlPath := filepath.Join(*dir, "workload.sql")
+	if err := writeLines(sqlPath, sql); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d queries)\n", sqlPath, len(sql))
+
+	if *withStats {
+		w, err := workload.ParseStrings(sql)
+		if err != nil {
+			fatal(err)
+		}
+		stats := workload.Preprocess(w, workload.Config{
+			Table:     datagen.TableName,
+			Intervals: datagen.Intervals(),
+		})
+		statsPath := filepath.Join(*dir, "stats.gob")
+		f, err := os.Create(statsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := repro.SaveStats(stats, f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (count tables over %d queries)\n", statsPath, stats.N())
+	}
+}
+
+func writeCSV(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	schema := rel.Schema()
+	header := make([]string, schema.Len())
+	for i := range header {
+		header[i] = schema.Attr(i).Name
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, schema.Len())
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		for j := range record {
+			if schema.Attr(j).Type == relation.Categorical {
+				record[j] = row[j].Str
+			} else {
+				record[j] = strconv.FormatFloat(row[j].Num, 'f', -1, 64)
+			}
+		}
+		if err := w.Write(record); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeLines(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(f, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// exampleSystem builds a tiny, fully deterministic system: 12 homes in two
+// neighborhoods, and a workload whose users filter on neighborhood and
+// price (with ranges breaking at 250000).
+func exampleSystem() *repro.System {
+	schema, err := repro.NewSchema(
+		repro.Attribute{Name: "neighborhood", Type: repro.Categorical},
+		repro.Attribute{Name: "price", Type: repro.Numeric},
+		repro.Attribute{Name: "bedrooms", Type: repro.Numeric},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := repro.NewRelation("Homes", schema)
+	for i := 0; i < 12; i++ {
+		hood := "Bellevue, WA"
+		if i%3 == 0 {
+			hood = "Seattle, WA"
+		}
+		rel.MustAppend(repro.Tuple{
+			{Str: hood},
+			{Num: 200000 + float64(i)*10000},
+			{Num: float64(2 + i%3)},
+		})
+	}
+	var workload []string
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			workload = append(workload,
+				"SELECT * FROM Homes WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 250000")
+		} else {
+			workload = append(workload,
+				"SELECT * FROM Homes WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 250000 AND 320000")
+		}
+	}
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: workload,
+		Intervals:   map[string]float64{"price": 10000, "bedrooms": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+// The basic flow: query, categorize, render.
+func Example() {
+	sys := exampleSystem()
+	res, err := sys.Query("SELECT * FROM Homes WHERE price BETWEEN 200000 AND 320000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := res.CategorizeOpts(repro.Options{M: 4, X: 0.3, MaxBuckets: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.RenderTree(tree, repro.RenderOptions{MaxDepth: 1}))
+	// Output:
+	// ALL (12)
+	//   neighborhood: Bellevue, WA (8)
+	//     … 2 subcategories
+	//   neighborhood: Seattle, WA (4)
+}
+
+// Exploring a tree with a simulated user and estimating its cost.
+func ExampleSimulateAll() {
+	sys := exampleSystem()
+	res, err := sys.Query("SELECT * FROM Homes WHERE price BETWEEN 200000 AND 320000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := res.CategorizeOpts(repro.Options{M: 4, X: 0.3, MaxBuckets: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	interest, err := repro.ParseQuery(
+		"SELECT * FROM Homes WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 250000 AND 320000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := repro.SimulateAll(tree, &repro.Intent{Query: interest})
+	fmt.Printf("examined %d labels and %d tuples, found %d of %d relevant homes\n",
+		out.LabelsExamined, out.TuplesExamined, out.RelevantFound, out.RelevantTotal)
+	// Output:
+	// examined 2 labels and 4 tuples, found 2 of 2 relevant homes
+}
+
+// Turning an explored category back into SQL.
+func ExampleTree_RefineQuery() {
+	sys := exampleSystem()
+	res, err := sys.Query("SELECT * FROM Homes WHERE price BETWEEN 200000 AND 320000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := res.CategorizeOpts(repro.Options{M: 4, X: 0.3, MaxBuckets: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refined, err := tree.RefineQuery(res.Query, []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(refined)
+	// Output:
+	// SELECT * FROM Homes WHERE price BETWEEN 200000 AND 320000 AND neighborhood = 'Bellevue, WA'
+}

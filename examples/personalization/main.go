@@ -1,0 +1,65 @@
+// Personalization: the paper's footnote 4 sketches using a particular
+// user's past behaviour instead of only the aggregate workload. This example
+// blends one buyer's own query history into the statistics (weighted) and
+// shows how the tree reshapes around what *she* filters on — here, a buyer
+// who always searches by year built, an attribute the aggregate workload
+// rarely uses.
+//
+//	go run ./examples/personalization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const query = "SELECT * FROM ListProperty WHERE " +
+	"neighborhood IN ('Seattle, WA','Bellevue, WA','Redmond, WA','Kirkland, WA'," +
+	"'Issaquah, WA','Sammamish, WA','Renton, WA','Bothell, WA'," +
+	"'Mercer Island, WA','Woodinville, WA') AND price BETWEEN 200000 AND 400000"
+
+func main() {
+	rel := repro.DemoDataset(20000, 1)
+	base, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: repro.DemoWorkloadSQL(10000, 2),
+		Intervals:   repro.DemoIntervals(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// This buyer renovates old houses: every search she has ever run
+	// filters on year built (and often on nothing else).
+	history := []string{
+		"SELECT * FROM ListProperty WHERE yearbuilt <= 1940",
+		"SELECT * FROM ListProperty WHERE yearbuilt BETWEEN 1900 AND 1930 AND neighborhood IN ('Seattle, WA')",
+		"SELECT * FROM ListProperty WHERE yearbuilt <= 1950 AND price BETWEEN 200000 AND 300000",
+		"SELECT * FROM ListProperty WHERE yearbuilt BETWEEN 1920 AND 1945",
+		"SELECT * FROM ListProperty WHERE yearbuilt <= 1935 AND neighborhood IN ('Bellevue, WA')",
+	}
+	personal, err := base.Personalize(history, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sys := range []struct {
+		name string
+		s    *repro.System
+	}{{"aggregate workload", base}, {"personalized (renovator)", personal}} {
+		res, err := sys.s.Query(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := res.Categorize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s -> levels %v  (yearbuilt usage %.2f)\n",
+			sys.name, tree.LevelAttrs, sys.s.Stats().UsageFraction("yearbuilt"))
+	}
+
+	fmt.Println("\nThe renovator's tree surfaces year-built as a categorizing attribute;")
+	fmt.Println("the aggregate tree never would (usage 0.24 < x = 0.4).")
+}

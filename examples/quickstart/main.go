@@ -1,0 +1,44 @@
+// Quickstart: generate the demo home-listing data, run one exploratory
+// query, and print the automatically generated category tree.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Data: a synthetic stand-in for a real home-listing table
+	//    (20k homes, 53 attributes), plus a log of 10k past buyer queries.
+	rel := repro.DemoDataset(20000, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: repro.DemoWorkloadSQL(10000, 2),
+		Intervals:   repro.DemoIntervals(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. An exploratory query that returns far too many homes to scan.
+	res, err := sys.Query("SELECT * FROM ListProperty WHERE " +
+		"neighborhood IN ('Seattle, WA','Bellevue, WA','Redmond, WA','Kirkland, WA'," +
+		"'Issaquah, WA','Sammamish, WA','Renton, WA','Bothell, WA'," +
+		"'Mercer Island, WA','Woodinville, WA') AND price BETWEEN 200000 AND 300000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("The query returned %d homes — information overload.\n\n", res.Len())
+
+	// 3. Categorize the result with the cost-based algorithm.
+	tree, err := res.Categorize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Generated category tree (levels: %v, %d categories, estimated exploration cost %.0f items):\n\n",
+		tree.LevelAttrs, tree.NodeCount(), repro.EstimateCostAll(tree))
+	fmt.Print(repro.RenderTree(tree, repro.RenderOptions{MaxDepth: 2, MaxChildren: 5}))
+}

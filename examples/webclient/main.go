@@ -1,0 +1,153 @@
+// Webclient: the whole system over HTTP, end to end — it starts the
+// categorization service in-process, then drives it the way the paper's
+// study UI drove its treeview: create a session for a query, expand the
+// interesting categories, list tuples, click the relevant ones, and read
+// back the operation log and the items-examined account.
+//
+//	go run ./examples/webclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	rel := repro.DemoDataset(10000, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: repro.DemoWorkloadSQL(5000, 2),
+		Intervals:   repro.DemoIntervals(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{System: sys, Learn: true, MaxDepth: 4, MaxChildren: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("service up at %s (in-process)\n\n", ts.URL)
+
+	// 1. Start a session for an exploratory query.
+	var created struct {
+		ID          string   `json:"id"`
+		ResultCount int      `json:"resultCount"`
+		Levels      []string `json:"levels"`
+		RootLabels  []string `json:"rootLabels"`
+	}
+	post(ts.URL+"/v1/session", map[string]any{
+		"sql": "SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA','Bellevue, WA'," +
+			"'Redmond, WA','Kirkland, WA','Issaquah, WA') AND price BETWEEN 200000 AND 400000",
+	}, &created)
+	fmt.Printf("session %s: %d homes, levels %v\n", created.ID[:8], created.ResultCount, created.Levels)
+	fmt.Println("top categories:")
+	for i, l := range created.RootLabels {
+		fmt.Printf("  [%d] %s\n", i, l)
+		if i == 4 {
+			break
+		}
+	}
+
+	// 2. Expand the first category, show the tuples of its first bucket.
+	opURL := ts.URL + "/v1/session/" + created.ID + "/op"
+	var op struct {
+		Labels  []string `json:"labels"`
+		Rows    []int    `json:"rows"`
+		Summary struct {
+			LabelsExamined int     `json:"LabelsExamined"`
+			TuplesExamined int     `json:"TuplesExamined"`
+			RelevantFound  int     `json:"RelevantFound"`
+			Cost           float64 `json:"Cost"`
+		} `json:"summary"`
+	}
+	post(opURL, map[string]any{"op": "expand", "path": []int{0}}, &op)
+	fmt.Printf("\nexpanded %s -> %d subcategories\n", created.RootLabels[0], len(op.Labels))
+	post(opURL, map[string]any{"op": "showtuples", "path": []int{0, 0}}, &op)
+	fmt.Printf("opened the first bucket: %d tuples\n", len(op.Rows))
+
+	// 3. Click two tuples as relevant.
+	for _, row := range op.Rows[:min(2, len(op.Rows))] {
+		post(opURL, map[string]any{"op": "click", "row": row}, &op)
+	}
+
+	// 4. Read the study-style log and measurements back.
+	var status struct {
+		Summary struct {
+			LabelsExamined int     `json:"LabelsExamined"`
+			TuplesExamined int     `json:"TuplesExamined"`
+			RelevantFound  int     `json:"RelevantFound"`
+			Cost           float64 `json:"Cost"`
+		} `json:"summary"`
+		Log []struct {
+			Seq  int    `json:"seq"`
+			Op   string `json:"op"`
+			Path []int  `json:"path"`
+			Row  int    `json:"row"`
+		} `json:"log"`
+	}
+	get(ts.URL+"/v1/session/"+created.ID, &status)
+	fmt.Printf("\nexploration so far: %d labels + %d tuples examined (cost %.0f), %d relevant found\n",
+		status.Summary.LabelsExamined, status.Summary.TuplesExamined,
+		status.Summary.Cost, status.Summary.RelevantFound)
+	fmt.Println("operation log (what the paper's study recorded):")
+	for _, entry := range status.Log {
+		if entry.Op == "click" {
+			fmt.Printf("  %d: click row %d\n", entry.Seq, entry.Row)
+		} else {
+			fmt.Printf("  %d: %s %v\n", entry.Seq, entry.Op, entry.Path)
+		}
+	}
+
+	// The server learned from the session's query.
+	var health struct {
+		Learned float64 `json:"learned"`
+	}
+	get(ts.URL+"/healthz", &health)
+	fmt.Printf("\nthe service folded %v served queries back into its workload statistics\n", health.Learned)
+}
+
+func post(url string, body any, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package category
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestEquiDepthCuts(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cuts := equiDepthCuts(vals, 4)
+	want := []float64{3, 5, 7}
+	if !reflect.DeepEqual(cuts, want) {
+		t.Fatalf("cuts = %v; want %v", cuts, want)
+	}
+}
+
+func TestEquiDepthCutsDuplicateRuns(t *testing.T) {
+	vals := []float64{1, 1, 1, 1, 1, 1, 9}
+	cuts := equiDepthCuts(vals, 4)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	for _, c := range cuts {
+		if c <= vals[0] {
+			t.Fatalf("cut %v at or below minimum", c)
+		}
+	}
+}
+
+func TestEquiDepthCutsDegenerate(t *testing.T) {
+	if got := equiDepthCuts(nil, 4); got != nil {
+		t.Fatalf("nil vals: %v", got)
+	}
+	if got := equiDepthCuts([]float64{1}, 4); got != nil {
+		t.Fatalf("single val: %v", got)
+	}
+	if got := equiDepthCuts([]float64{1, 2, 3}, 1); got != nil {
+		t.Fatalf("single bucket: %v", got)
+	}
+}
+
+func TestBaselineEquiDepthValidAndBalanced(t *testing.T) {
+	r := testRelation(600)
+	b := &Baseline{Stats: testStats(t), Kind: NoCost, Opts: Options{
+		M: 20, MaxBuckets: 4, EquiDepth: true, CandidateAttrs: []string{"price"}}}
+	tree, err := b.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tree)
+	ch := tree.Root.Children
+	if len(ch) < 2 {
+		t.Fatalf("equi-depth produced %d buckets", len(ch))
+	}
+	// Buckets should be roughly balanced: max/min ≤ 4 (value ties distort).
+	minSz, maxSz := math.MaxInt32, 0
+	for _, c := range ch {
+		if c.Size() < minSz {
+			minSz = c.Size()
+		}
+		if c.Size() > maxSz {
+			maxSz = c.Size()
+		}
+	}
+	if maxSz > 4*minSz {
+		t.Fatalf("equi-depth buckets unbalanced: %d..%d", minSz, maxSz)
+	}
+}
+
+func TestEquiDepthIgnoredByCostBased(t *testing.T) {
+	r := testRelation(600)
+	stats := testStats(t)
+	a, _ := NewCategorizer(stats, Options{M: 20, X: 0.1}).Categorize(r, nil)
+	b, _ := NewCategorizer(stats, Options{M: 20, X: 0.1, EquiDepth: true}).Categorize(r, nil)
+	if TreeCostAll(a) != TreeCostAll(b) {
+		t.Fatal("EquiDepth must not affect the cost-based technique")
+	}
+}

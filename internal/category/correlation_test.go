@@ -1,0 +1,229 @@
+package category
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// corrWorkload builds a workload with a hard neighborhood↔price
+// correlation: Bellevue buyers want 200-245k, Seattle buyers want 255-300k,
+// in equal volume. (The bands deliberately stop short of 250k: a closed
+// BETWEEN endpoint *at* a bucket boundary legitimately overlaps both
+// buckets under the paper's overlap definition, which would blur the
+// correlation this fixture exists to expose. The 25k splitpoint grid snaps
+// both 245k and 255k to the 250k splitpoint.)
+func corrWorkload(t *testing.T) (*workload.Stats, *workload.CondIndex) {
+	t.Helper()
+	var queries []string
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			queries = append(queries,
+				"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 245000")
+		} else {
+			queries = append(queries,
+				"SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 255000 AND 300000")
+		}
+	}
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Config{Table: "ListProperty", Intervals: map[string]float64{"price": 25000}}
+	return workload.Preprocess(w, cfg), workload.NewCondIndex(w, cfg)
+}
+
+// corrRelation puts homes of all prices in both neighborhoods.
+func corrRelation() *relation.Relation {
+	r := relation.New("ListProperty", testSchema())
+	hoods := []string{"Bellevue, WA", "Seattle, WA"}
+	for i := 0; i < 200; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.StringValue(hoods[i%2]),
+			relation.NumberValue(200000 + float64(i%20)*5000),
+			relation.NumberValue(3),
+			relation.StringValue("Condo"),
+		})
+	}
+	return r
+}
+
+func TestConditionalProbabilitiesReflectCorrelation(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	r := corrRelation()
+	c := &Categorizer{
+		Stats: stats,
+		Corr:  idx,
+		Opts:  Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 5},
+	}
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tree)
+	if len(tree.LevelAttrs) < 2 {
+		t.Fatalf("want 2 levels, got %v", tree.LevelAttrs)
+	}
+	// Find the Bellevue node and its price buckets.
+	var bellevue *Node
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if n.Label.Kind == LabelValue && n.Label.Value == "Bellevue, WA" {
+			bellevue = n
+		}
+		return true
+	})
+	if bellevue == nil || bellevue.IsLeaf() || !strings.EqualFold(bellevue.SubAttr, "price") {
+		t.Fatalf("expected Bellevue node subcategorized by price, got %+v", bellevue)
+	}
+	// Under the independence assumption both buckets would get P ≈ 0.5
+	// (half the price conditions overlap each). With correlation, the low
+	// bucket's P under Bellevue must be far higher than the high bucket's.
+	var lowP, highP float64
+	for _, ch := range bellevue.Children {
+		if ch.Label.Lo < 250000 {
+			lowP = math.Max(lowP, ch.P)
+		} else {
+			highP = math.Max(highP, ch.P)
+		}
+	}
+	if lowP < 0.9 {
+		t.Errorf("P(low bucket | Bellevue) = %v; want ≈1 under correlation", lowP)
+	}
+	if highP > 0.3 {
+		t.Errorf("P(high bucket | Bellevue) = %v; want ≈0 under correlation", highP)
+	}
+}
+
+func TestIndependentModelMissesCorrelation(t *testing.T) {
+	stats, _ := corrWorkload(t)
+	r := corrRelation()
+	c := NewCategorizer(stats, Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1})
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bellevue *Node
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if n.Label.Kind == LabelValue && n.Label.Value == "Bellevue, WA" {
+			bellevue = n
+		}
+		return true
+	})
+	if bellevue == nil || bellevue.IsLeaf() {
+		t.Skip("tree shape differs; nothing to compare")
+	}
+	for _, ch := range bellevue.Children {
+		if ch.Label.Kind != LabelRange {
+			continue
+		}
+		// Independent: every bucket overlapping half the workload price
+		// conditions gets P ≈ 0.5 regardless of the neighborhood above it.
+		if ch.P < 0.3 || ch.P > 0.7 {
+			t.Errorf("independent P = %v for %q; want ≈0.5", ch.P, ch.Label)
+		}
+	}
+}
+
+func TestConditionalCostBelowIndependentOnCorrelatedWorkload(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	r := corrRelation()
+	opts := Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 5}
+	indep, err := NewCategorizer(stats, opts).Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := (&Categorizer{Stats: stats, Corr: idx, Opts: opts}).Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost each tree under its own probability annotations: the conditional
+	// model prunes better (the user interested in Bellevue explores one
+	// price bucket, not an expected half of each).
+	if ci, cc := TreeCostAll(indep), TreeCostAll(cond); cc > ci+1e-9 {
+		t.Errorf("conditional estimated cost %v exceeds independent %v", cc, ci)
+	}
+}
+
+func TestAnnotateConditionalMatchesConstruction(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	r := corrRelation()
+	opts := Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 5}
+	tree, err := (&Categorizer{Stats: stats, Corr: idx, Opts: opts}).Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snap struct{ p, pw float64 }
+	snaps := map[*Node]snap{}
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		snaps[n] = snap{n.P, n.Pw}
+		n.P, n.Pw = -1, -1
+		return true
+	})
+	(&Estimator{Stats: stats}).AnnotateConditional(tree, idx, opts.MinCondSupport)
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		want := snaps[n]
+		if diff(n.P, want.p) > 1e-12 || diff(n.Pw, want.pw) > 1e-12 {
+			t.Errorf("node %q: annotate (%v,%v) != construction (%v,%v)",
+				n.Label, n.P, n.Pw, want.p, want.pw)
+		}
+		return true
+	})
+}
+
+func TestAnnotateConditionalNilIndexFallsBack(t *testing.T) {
+	r := testRelation(300)
+	stats := testStats(t)
+	tree, _ := NewCategorizer(stats, Options{M: 20}).Categorize(r, nil)
+	a := &Estimator{Stats: stats}
+	a.AnnotateConditional(tree, nil, 0)
+	// Must equal plain Annotate.
+	var bad bool
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if diff(n.P, a.ExploreProb(n.Label)) > 1e-12 {
+			bad = true
+		}
+		return true
+	})
+	if bad {
+		t.Fatal("nil-index AnnotateConditional diverged from Annotate")
+	}
+}
+
+func TestConditionalFallsBackOnThinSupport(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	r := corrRelation()
+	// MinCondSupport larger than the workload: conditional model never
+	// applies, so the tree must match the independent one.
+	opts := Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 10000}
+	cond, err := (&Categorizer{Stats: stats, Corr: idx, Opts: opts}).Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := NewCategorizer(stats, opts).Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TreeCostAll(cond) != TreeCostAll(indep) {
+		t.Fatalf("thin support should reproduce the independent tree: %v vs %v",
+			TreeCostAll(cond), TreeCostAll(indep))
+	}
+}
+
+// TestConditionalTreeStillValid fuzz-checks invariants with the correlation
+// model on.
+func TestConditionalTreeStillValid(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	for _, m := range []int{5, 10, 50} {
+		r := corrRelation()
+		c := &Categorizer{Stats: stats, Corr: idx,
+			Opts: Options{M: m, X: 0.1, MinBucket: 1, MinCondSupport: 5}}
+		tree, err := c.Categorize(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustValidate(t, tree)
+	}
+}

@@ -1,0 +1,157 @@
+package category
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// These tests validate the *semantics* of the cost recursions: CostAll and
+// CostOne are expectations over the non-deterministic user choices of
+// Figures 2 and 3 (SHOWTUPLES w.p. Pw; each subcategory explored w.p. P,
+// independently). We enumerate every behaviour profile of a small tree,
+// weight each profile's deterministic item count by its probability, and
+// compare the sum against the recursion.
+
+// expectedAll computes E[items examined] for the ALL scenario by exhaustive
+// expansion of the choice tree rooted at n (conditioned on n being
+// explored).
+func expectedAll(n *Node, k float64) float64 {
+	if n.IsLeaf() {
+		return float64(n.Size())
+	}
+	// With probability Pw: SHOWTUPLES (all tuples).
+	exp := n.Pw * float64(n.Size())
+	// With probability 1-Pw: SHOWCAT — read all child labels; each child is
+	// explored independently, so expectations add per child.
+	showcat := k * float64(len(n.Children))
+	for _, c := range n.Children {
+		// Explored w.p. c.P contributing its own expected subtree cost.
+		showcat += c.P * expectedAll(c, k)
+	}
+	return exp + (1-n.Pw)*showcat
+}
+
+// enumeratedAll computes the same expectation the hard way: enumerate every
+// (SHOWTUPLES/SHOWCAT, explore/ignore…) profile with its probability.
+func enumeratedAll(n *Node, k float64) float64 {
+	if n.IsLeaf() {
+		return float64(n.Size())
+	}
+	total := n.Pw * float64(n.Size())
+	// SHOWCAT branch: enumerate explore/ignore masks over children.
+	var rec func(i int, prob, cost float64) float64
+	rec = func(i int, prob, cost float64) float64 {
+		if i == len(n.Children) {
+			return prob * cost
+		}
+		c := n.Children[i]
+		ignored := rec(i+1, prob*(1-c.P), cost)
+		explored := rec(i+1, prob*c.P, cost+enumeratedAll(c, k))
+		return ignored + explored
+	}
+	base := k * float64(len(n.Children))
+	total += (1 - n.Pw) * rec(0, 1, base)
+	return total
+}
+
+// enumeratedOne: the ONE scenario. In SHOWCAT the user reads labels until
+// the first explored child (probability chain of Figure 3); in SHOWTUPLES
+// she reads frac·|tset|.
+func enumeratedOne(n *Node, k, frac float64) float64 {
+	if n.IsLeaf() {
+		return frac * float64(n.Size())
+	}
+	total := n.Pw * frac * float64(n.Size())
+	noneSoFar := 1.0
+	sum := 0.0
+	for i, c := range n.Children {
+		sum += noneSoFar * c.P * (k*float64(i+1) + enumeratedOne(c, k, frac))
+		noneSoFar *= 1 - c.P
+	}
+	total += (1 - n.Pw) * sum
+	return total
+}
+
+// buildRandomSemTree builds a random ≤3-level annotated tree.
+func buildRandomSemTree(r *rand.Rand, depth int) *Node {
+	n := &Node{Label: Label{Kind: LabelAll}, P: 0.1 + 0.9*r.Float64(), Pw: 1}
+	if depth < 2 && r.Intn(3) > 0 {
+		k := 1 + r.Intn(3)
+		total := 0
+		n.SubAttr = "a"
+		n.Pw = r.Float64()
+		for i := 0; i < k; i++ {
+			c := buildRandomSemTree(r, depth+1)
+			total += c.Size()
+			n.Children = append(n.Children, c)
+		}
+		n.Tset = make([]int, total)
+	} else {
+		n.Tset = make([]int, 1+r.Intn(25))
+	}
+	return n
+}
+
+// TestCostAllIsTheEnumeratedExpectation checks CostAll == the brute-force
+// expectation over all behaviour profiles.
+func TestCostAllIsTheEnumeratedExpectation(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := buildRandomSemTree(r, 0)
+		k := 0.5 + r.Float64()*2
+		got := CostAll(root, k)
+		want := enumeratedAll(root, k)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Logf("seed %d: CostAll=%v enumerated=%v", seed, got, want)
+			return false
+		}
+		// And the per-child linearity shortcut agrees too.
+		if alt := expectedAll(root, k); math.Abs(got-alt) > 1e-9*(1+math.Abs(alt)) {
+			t.Logf("seed %d: CostAll=%v linear-expectation=%v", seed, got, alt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostOneIsTheEnumeratedExpectation does the same for Eq. 2.
+func TestCostOneIsTheEnumeratedExpectation(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := buildRandomSemTree(r, 0)
+		k := 0.5 + r.Float64()*2
+		frac := 0.1 + 0.8*r.Float64()
+		got := CostOne(root, k, frac)
+		want := enumeratedOne(root, k, frac)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Logf("seed %d: CostOne=%v enumerated=%v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostAllDegenerateProbabilities pins the boundary behaviours: P=0
+// children contribute nothing beyond their label; Pw=1 collapses to a scan.
+func TestCostAllDegenerateProbabilities(t *testing.T) {
+	child := leaf(50, 0)
+	root := &Node{Label: Label{Kind: LabelAll}, Children: []*Node{child},
+		Tset: make([]int, 50), SubAttr: "a", P: 1, Pw: 0}
+	if got := CostAll(root, 2); got != 2 {
+		t.Fatalf("P=0 child: CostAll = %v; want label cost only (2)", got)
+	}
+	if got := CostOne(root, 2, 0.5); got != 0 {
+		// No child is ever explored and SHOWTUPLES never happens: the Fig. 3
+		// walk reads... the model says she reads label i only en route to an
+		// explored child, so expected cost is 0 here.
+		t.Fatalf("P=0 child: CostOne = %v; want 0", got)
+	}
+}

@@ -1,0 +1,249 @@
+package category
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// This file implements the enumerative algorithm the paper's §5 opens with:
+// "we can enumerate all the permissible category trees on R, compute their
+// costs and pick the tree Topt with the minimum cost. This enumerative
+// algorithm will produce the cost-optimal tree but could be prohibitively
+// expensive." It exists to measure how close the Figure 6 greedy gets —
+// usable only on small inputs, guarded by explicit limits.
+//
+// The enumeration covers the same space the greedy searches level by level:
+// a permutation of candidate attributes across levels, and for each numeric
+// level a subset of the workload's candidate splitpoints (shared by the
+// level's nodes, as in the greedy); categorical levels have the fixed
+// single-value partitioning of §5.1.2. CostAll is order-invariant, so child
+// order is irrelevant to the optimum.
+
+// EnumerateLimits bounds the exhaustive search.
+type EnumerateLimits struct {
+	// MaxAttrs caps the candidate attributes considered. Default 3.
+	MaxAttrs int
+	// MaxSplitpoints caps the splitpoint candidates per numeric attribute
+	// (taken in goodness order). Default 5; subsets of size < MaxBuckets are
+	// enumerated, so the per-level choice count is C(MaxSplitpoints, ≤m−1).
+	MaxSplitpoints int
+	// MaxTrees aborts the search after this many complete trees. Default
+	// 200000.
+	MaxTrees int
+}
+
+func (l EnumerateLimits) withDefaults() EnumerateLimits {
+	if l.MaxAttrs == 0 {
+		l.MaxAttrs = 3
+	}
+	if l.MaxSplitpoints == 0 {
+		l.MaxSplitpoints = 5
+	}
+	if l.MaxTrees == 0 {
+		l.MaxTrees = 200000
+	}
+	return l
+}
+
+// OptimalCostAll exhaustively searches the bounded tree space and returns
+// the minimum CostAll along with the number of trees evaluated. It errors
+// when the limits are exceeded.
+func (c *Categorizer) OptimalCostAll(r *relation.Relation, q *sqlparse.Query, limits EnumerateLimits) (float64, int, error) {
+	if c.Stats == nil {
+		return 0, 0, fmt.Errorf("category: categorizer has no workload statistics")
+	}
+	limits = limits.withDefaults()
+	opts := c.Opts.withDefaults()
+	est := &Estimator{Stats: c.Stats}
+	lc := &levelContext{r: r, q: q, stats: c.Stats, est: est, opts: opts}
+
+	candidates := opts.CandidateAttrs
+	if candidates == nil {
+		candidates = c.Stats.Retained(opts.X)
+	}
+	candidates = presentInSchema(candidates, r)
+	if len(candidates) > limits.MaxAttrs {
+		candidates = candidates[:limits.MaxAttrs]
+	}
+
+	rows := r.Select(q2pred(q))
+	root := &Node{Label: Label{Kind: LabelAll}, Tset: rows, P: 1, Pw: 1}
+
+	e := &enumerator{lc: lc, limits: limits, best: math.Inf(1), root: root}
+	if err := e.search([]*Node{root}, candidates); err != nil {
+		return 0, e.trees, err
+	}
+	if e.trees == 0 {
+		return 0, 0, fmt.Errorf("category: enumeration produced no trees")
+	}
+	return e.best, e.trees, nil
+}
+
+func q2pred(q *sqlparse.Query) relation.Predicate {
+	if q == nil {
+		return nil
+	}
+	return q.Predicate()
+}
+
+type enumerator struct {
+	lc     *levelContext
+	limits EnumerateLimits
+	best   float64
+	trees  int
+	root   *Node
+}
+
+// search extends the tree by one level in every permissible way. frontier
+// holds the current deepest nodes; when no oversized node remains (or no
+// attribute), the tree is complete and its cost is taken from the root.
+// Nodes carry their P/Pw as in the greedy; cost is computed at the end via
+// CostAll over the materialized tree, then the level is torn down
+// (backtracking mutates the shared nodes).
+func (e *enumerator) search(frontier []*Node, attrs []string) error {
+	s := oversized(frontier, e.lc.opts.M)
+	if len(s) == 0 || len(attrs) == 0 {
+		return e.complete(frontier)
+	}
+	extended := false
+	for ai, attr := range attrs {
+		plans, err := e.levelChoices(attr, s)
+		if err != nil {
+			return err
+		}
+		rest := remaining(attrs, ai)
+		for _, pl := range plans {
+			if !pl.partitions() {
+				continue
+			}
+			extended = true
+			newFrontier := e.lc.attach(pl, s)
+			if err := e.search(newFrontier, rest); err != nil {
+				return err
+			}
+			detach(s)
+		}
+	}
+	if !extended {
+		return e.complete(frontier)
+	}
+	return nil
+}
+
+// complete scores the current (fully materialized) tree.
+func (e *enumerator) complete([]*Node) error {
+	e.trees++
+	if e.trees > e.limits.MaxTrees {
+		return fmt.Errorf("category: enumeration exceeded %d trees", e.limits.MaxTrees)
+	}
+	if cost := CostAll(e.root, e.lc.opts.K); cost < e.best {
+		e.best = cost
+	}
+	return nil
+}
+
+// levelChoices builds every permissible partitioning plan of S by attr: the
+// single categorical plan, or one numeric plan per splitpoint subset.
+func (e *enumerator) levelChoices(attr string, s []*Node) ([]*plan, error) {
+	typ, ok := e.lc.r.Schema().TypeOf(attr)
+	if !ok {
+		return nil, nil
+	}
+	if typ == relation.Categorical {
+		pl := e.lc.categoricalPlan(attr, s)
+		if pl == nil {
+			return nil, nil
+		}
+		return []*plan{pl}, nil
+	}
+	vmin, vmax, ok := e.lc.domainRange(attr, s)
+	if !ok || vmin >= vmax {
+		return nil, nil
+	}
+	st := e.lc.stats.Splits(attr)
+	if st == nil {
+		return nil, nil
+	}
+	cands := st.Candidates(vmin, vmax, true, e.lc.opts.MaxZeroCandidates)
+	if len(cands) > e.limits.MaxSplitpoints {
+		cands = cands[:e.limits.MaxSplitpoints]
+	}
+	maxCuts := e.lc.opts.MaxBuckets - 1
+	var plans []*plan
+	for _, subset := range subsets(len(cands), maxCuts) {
+		cuts := make([]float64, 0, len(subset))
+		for _, i := range subset {
+			cuts = append(cuts, cands[i].Value)
+		}
+		sort.Float64s(cuts)
+		pl := e.numericPlanWithCuts(attr, s, vmin, vmax, cuts)
+		if pl != nil {
+			plans = append(plans, pl)
+		}
+	}
+	return plans, nil
+}
+
+// numericPlanWithCuts materializes the bucket plan for a fixed cut set.
+func (e *enumerator) numericPlanWithCuts(attr string, s []*Node, vmin, vmax float64, cuts []float64) *plan {
+	lc := e.lc
+	nAttr := lc.stats.NAttr(attr)
+	pos, _ := lc.r.Schema().Lookup(attr)
+	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
+	for si, n := range s {
+		idx := make([]int, len(n.Tset))
+		copy(idx, n.Tset)
+		sort.Slice(idx, func(a, b int) bool {
+			return lc.r.Row(idx[a])[pos].Num < lc.r.Row(idx[b])[pos].Num
+		})
+		vals := make([]float64, len(idx))
+		for k, i := range idx {
+			vals[k] = lc.r.Row(i)[pos].Num
+		}
+		pl.children[si] = lc.buildBuckets(attr, vmin, vmax, cuts, vals, idx, nAttr)
+	}
+	return pl
+}
+
+// subsets enumerates the non-empty subsets of {0..n-1} of size ≤ k, plus the
+// empty set is excluded (no cuts means no partition).
+func subsets(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func remaining(attrs []string, skip int) []string {
+	out := make([]string, 0, len(attrs)-1)
+	for i, a := range attrs {
+		if i != skip {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// detach removes the children attached by the last level, restoring leaves.
+func detach(s []*Node) {
+	for _, n := range s {
+		n.Children = nil
+		n.SubAttr = ""
+		n.Pw = 1
+	}
+}

@@ -1,0 +1,122 @@
+package category
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// Estimator derives the exploration and SHOWTUPLES probabilities of §4.2
+// from preprocessed workload statistics:
+//
+//	Pw(C) = 1 − NAttr(SA(C))/N      (SHOWTUPLES probability; 1 at leaves)
+//	P(C)  = NOverlap(C)/NAttr(CA(C)) (exploration probability; 1 at the root)
+//
+// where SA(C) is the subcategorizing attribute of C and CA(C) the
+// categorizing attribute of C's own label.
+type Estimator struct {
+	Stats *workload.Stats
+}
+
+// ExploreProb returns P(C) for a node labeled l.
+func (e *Estimator) ExploreProb(l Label) float64 {
+	if l.Kind == LabelAll {
+		return 1
+	}
+	nAttr := e.Stats.NAttr(l.Attr)
+	if nAttr == 0 {
+		// The workload never filters on this attribute: no evidence to
+		// discriminate among its values, so every label is equally (fully)
+		// plausible. This matches Pw = 1 for such attributes — the SHOWCAT
+		// branch carrying P is then weighted by zero anyway.
+		return 1
+	}
+	var overlap int
+	switch l.Kind {
+	case LabelValue:
+		overlap = e.Stats.Occ(l.Attr, l.Value)
+	case LabelValueSet:
+		set := make(map[string]struct{}, len(l.Values))
+		for _, v := range l.Values {
+			set[v] = struct{}{}
+		}
+		overlap = e.Stats.NOverlapValues(l.Attr, set)
+	case LabelRange:
+		hi := l.Hi
+		if l.HiInc {
+			hi = math.Nextafter(hi, math.Inf(1))
+		}
+		overlap = e.Stats.NOverlapRange(l.Attr, l.Lo, hi)
+	}
+	p := float64(overlap) / float64(nAttr)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ShowTuplesProb returns Pw(C) for a node whose children are categorized by
+// subAttr; pass "" for leaves.
+func (e *Estimator) ShowTuplesProb(subAttr string) float64 {
+	if subAttr == "" {
+		return 1
+	}
+	return 1 - e.Stats.UsageFraction(subAttr)
+}
+
+// Annotate fills P and Pw on every node of the tree from the workload
+// statistics. Builders that construct trees without cost guidance (the
+// baselines of §6.1) produce unannotated structures; annotating them lets
+// the same cost model estimate any tree's information overload.
+func (e *Estimator) Annotate(t *Tree) {
+	t.Root.Walk(func(n *Node, _ int) bool {
+		n.P = e.ExploreProb(n.Label)
+		n.Pw = e.ShowTuplesProb(n.SubAttr)
+		return true
+	})
+}
+
+// AnnotateConditional fills P and Pw on every node using the
+// path-conditional model over the retained workload conditions, falling
+// back to the independent estimates where the conditional sample has fewer
+// than minSupport queries. It reproduces the probabilities a Categorizer
+// with the same CondIndex assigns during construction.
+func (e *Estimator) AnnotateConditional(t *Tree, idx *workload.CondIndex, minSupport int) {
+	if idx == nil {
+		e.Annotate(t)
+		return
+	}
+	if minSupport <= 0 {
+		minSupport = 8
+	}
+	var rec func(n *Node, ids []int)
+	rec = func(n *Node, ids []int) {
+		n.Pw = e.ShowTuplesProb(n.SubAttr)
+		if n.IsLeaf() {
+			return
+		}
+		preds := make([]workload.PathPred, len(n.Children))
+		for i, c := range n.Children {
+			preds[i] = pathPred(c.Label)
+		}
+		attrN, overlap := 0, []int(nil)
+		conditional := len(ids) >= minSupport
+		if conditional {
+			attrN, overlap = idx.CountChildren(ids, n.SubAttr, preds)
+			conditional = attrN >= minSupport
+		}
+		if conditional {
+			n.Pw = 1 - float64(attrN)/float64(len(ids))
+		}
+		for i, c := range n.Children {
+			if conditional {
+				c.P = float64(overlap[i]) / float64(attrN)
+			} else {
+				c.P = e.ExploreProb(c.Label)
+			}
+			rec(c, idx.FilterCompatible(ids, preds[i]))
+		}
+	}
+	t.Root.P = 1
+	rec(t.Root, idx.AllIDs())
+}

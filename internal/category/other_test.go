@@ -1,0 +1,200 @@
+package category
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// otherTree builds a tree with MaxCategories=3 over the 5-neighborhood test
+// relation, forcing an "Other" category on the neighborhood level.
+func otherTree(t *testing.T) *Tree {
+	t.Helper()
+	r := testRelation(600)
+	c := NewCategorizer(testStats(t), Options{
+		M: 20, X: 0.1, MaxCategories: 3,
+		CandidateAttrs: []string{"neighborhood", "price"},
+	})
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tree)
+	return tree
+}
+
+func findValueSet(tree *Tree) *Node {
+	var other *Node
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if other == nil && n.Label.Kind == LabelValueSet {
+			other = n
+		}
+		return other == nil
+	})
+	return other
+}
+
+func TestMaxCategoriesCreatesOther(t *testing.T) {
+	tree := otherTree(t)
+	// The neighborhood level must have at most 3 children per node.
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if !n.IsLeaf() && strings.EqualFold(n.SubAttr, "neighborhood") && len(n.Children) > 3 {
+			t.Errorf("node %q has %d children; MaxCategories=3", n.Label, len(n.Children))
+		}
+		return true
+	})
+	other := findValueSet(tree)
+	if other == nil {
+		t.Fatal("no Other category created (5 neighborhoods, max 3)")
+	}
+	if len(other.Label.Values) != 3 {
+		t.Fatalf("Other holds %d values; want 3 (5 hoods − 2 singles)", len(other.Label.Values))
+	}
+}
+
+func TestOtherLabelRendering(t *testing.T) {
+	short := Label{Kind: LabelValueSet, Attr: "Neighborhood", Values: []string{"Bellevue", "Redmond"}}
+	if got := short.String(); got != "Neighborhood: Bellevue, Redmond" {
+		t.Errorf("short set label = %q", got)
+	}
+	long := Label{Kind: LabelValueSet, Attr: "n", Values: []string{"a", "b", "c", "d", "e"}}
+	if got := long.String(); got != "n: Other (5 values)" {
+		t.Errorf("long set label = %q", got)
+	}
+}
+
+func TestOtherPredicateMatchesMembers(t *testing.T) {
+	tree := otherTree(t)
+	other := findValueSet(tree)
+	if other == nil {
+		t.Skip("no Other category")
+	}
+	pred := other.Label.Predicate()
+	for _, i := range other.Tset {
+		if !pred.Matches(tree.R.Schema(), tree.R.Row(i)) {
+			t.Fatalf("Other tuple %d does not satisfy its label", i)
+		}
+	}
+}
+
+func TestOtherKeepsSingleValueCategoriesHot(t *testing.T) {
+	// The head categories (before Other) must be the most-requested values:
+	// Bellevue and Redmond dominate the testStats workload.
+	tree := otherTree(t)
+	var hoodParent *Node
+	tree.Root.Walk(func(n *Node, _ int) bool {
+		if hoodParent == nil && strings.EqualFold(n.SubAttr, "neighborhood") {
+			hoodParent = n
+		}
+		return hoodParent == nil
+	})
+	if hoodParent == nil {
+		t.Skip("neighborhood not a level")
+	}
+	singles := map[string]bool{}
+	for _, ch := range hoodParent.Children {
+		if ch.Label.Kind == LabelValue {
+			singles[ch.Label.Value] = true
+		}
+	}
+	if !singles["Bellevue, WA"] || !singles["Redmond, WA"] {
+		t.Errorf("hot values not kept as single categories: %v", singles)
+	}
+}
+
+func TestOtherExplorationProbability(t *testing.T) {
+	tree := otherTree(t)
+	other := findValueSet(tree)
+	if other == nil {
+		t.Skip("no Other category")
+	}
+	if other.P < 0 || other.P > 1 {
+		t.Fatalf("Other P = %v; want [0,1]", other.P)
+	}
+}
+
+func TestOtherRefines(t *testing.T) {
+	tree := otherTree(t)
+	other := findValueSet(tree)
+	if other == nil {
+		t.Skip("no Other category")
+	}
+	// Locate the path to the Other node.
+	var path []int
+	var walk func(n *Node, p []int) bool
+	walk = func(n *Node, p []int) bool {
+		if n == other {
+			path = append([]int(nil), p...)
+			return true
+		}
+		for i, c := range n.Children {
+			if walk(c, append(p, i)) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(tree.Root, nil)
+	refined, err := tree.RefineQuery(nil, path)
+	if err != nil {
+		t.Fatalf("RefineQuery: %v", err)
+	}
+	got := tree.R.Select(refined.Predicate())
+	if len(got) != other.Size() {
+		t.Fatalf("refined query selects %d rows; Other holds %d\nsql: %s", len(got), other.Size(), refined)
+	}
+	if _, err := sqlparse.Parse(refined.String()); err != nil {
+		t.Fatalf("refined SQL unparseable: %v", err)
+	}
+}
+
+func TestMaxCategoriesZeroUnbounded(t *testing.T) {
+	r := testRelation(600)
+	c := NewCategorizer(testStats(t), Options{M: 20, X: 0.1, CandidateAttrs: []string{"neighborhood", "price"}})
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findValueSet(tree) != nil {
+		t.Fatal("unbounded categorization must not create Other categories")
+	}
+}
+
+func TestMaxCategoriesOneIsIgnored(t *testing.T) {
+	// MaxCategories ≤ 1 cannot partition anything; treated as unbounded.
+	r := testRelation(200)
+	c := NewCategorizer(testStats(t), Options{M: 20, X: 0.1, MaxCategories: 1, CandidateAttrs: []string{"neighborhood"}})
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tree)
+	if !tree.Root.IsLeaf() && len(tree.Root.Children) <= 1 {
+		t.Fatal("MaxCategories=1 should be ignored, not produce single-child levels")
+	}
+}
+
+func TestOtherWithConditionalModel(t *testing.T) {
+	stats, idx := corrWorkload(t)
+	r := relation.New("ListProperty", testSchema())
+	hoods := []string{"Bellevue, WA", "Seattle, WA", "Kirkland, WA", "Renton, WA"}
+	for i := 0; i < 300; i++ {
+		r.MustAppend(relation.Tuple{
+			relation.StringValue(hoods[i%4]),
+			relation.NumberValue(200000 + float64(i%20)*5000),
+			relation.NumberValue(3),
+			relation.StringValue("Condo"),
+		})
+	}
+	c := &Categorizer{Stats: stats, Corr: idx, Opts: Options{
+		M: 10, X: 0.1, MaxCategories: 3, MinBucket: 1, MinCondSupport: 5,
+		CandidateAttrs: []string{"neighborhood", "price"},
+	}}
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tree)
+}

@@ -1,0 +1,509 @@
+package category
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// childSpec is a proposed subcategory: its label, tuple-set, and exploration
+// probability. Plans are built per candidate attribute per level and only
+// the winning attribute's plan is attached to the tree.
+type childSpec struct {
+	label Label
+	tset  []int
+	p     float64
+}
+
+// plan is the proposed partitioning of every node in S (the level's
+// oversized categories) by one candidate attribute.
+type plan struct {
+	attr     string
+	children [][]childSpec // parallel to S
+	// pw holds per-node conditional SHOWTUPLES probabilities (parallel to
+	// S) when the correlation model applied; entries < 0 (and a nil slice)
+	// mean "use the independent estimate".
+	pw []float64
+}
+
+// nodePw returns the SHOWTUPLES probability to use for node si given the
+// independent fallback.
+func (p *plan) nodePw(si int, independent float64) float64 {
+	if si < len(p.pw) && p.pw[si] >= 0 {
+		return p.pw[si]
+	}
+	return independent
+}
+
+// partitions reports whether the plan actually subdivides at least one node
+// (a plan that leaves every node with ≤1 child is useless as a level).
+func (p *plan) partitions() bool {
+	for _, ch := range p.children {
+		if len(ch) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// levelContext carries the per-level inputs shared by all partitioners.
+type levelContext struct {
+	r     *relation.Relation
+	q     *sqlparse.Query // the user query (may be nil for browsing)
+	stats *workload.Stats
+	est   *Estimator
+	opts  Options
+
+	// corr enables the path-conditional probability model (§5.2's
+	// correlation refinement); nil keeps the paper's independence
+	// assumption. compat then holds, per frontier node, the workload
+	// queries compatible with the node's root path.
+	corr   *workload.CondIndex
+	compat map[*Node][]int
+}
+
+// pathPred converts a label into the workload-side path predicate; closed
+// upper bounds are widened by one ulp so overlap semantics match the
+// estimator's.
+func pathPred(l Label) workload.PathPred {
+	switch l.Kind {
+	case LabelValue:
+		return workload.PathPred{Attr: l.Attr, Value: l.Value}
+	case LabelValueSet:
+		return workload.PathPred{Attr: l.Attr, Values: l.Values}
+	case LabelRange:
+		hi := l.Hi
+		if l.HiInc {
+			hi = math.Nextafter(hi, math.Inf(1))
+		}
+		return workload.PathPred{Attr: l.Attr, IsRange: true, Lo: l.Lo, Hi: hi}
+	default:
+		return workload.PathPred{}
+	}
+}
+
+// conditionalProbs overwrites the plan's probabilities for node si with
+// path-conditional estimates when the compatible set gives enough support;
+// it returns the node's conditional SHOWTUPLES probability and whether the
+// conditional model applied.
+func (lc *levelContext) conditionalProbs(n *Node, specs []childSpec) (pw float64, ok bool) {
+	if lc.corr == nil {
+		return 0, false
+	}
+	ids := lc.compat[n]
+	if len(ids) < lc.opts.MinCondSupport {
+		return 0, false
+	}
+	preds := make([]workload.PathPred, len(specs))
+	for i, sp := range specs {
+		preds[i] = pathPred(sp.label)
+	}
+	attr := ""
+	if len(specs) > 0 {
+		attr = specs[0].label.Attr
+	}
+	attrN, overlap := lc.corr.CountChildren(ids, attr, preds)
+	if attrN < lc.opts.MinCondSupport {
+		return 0, false
+	}
+	for i := range specs {
+		specs[i].p = float64(overlap[i]) / float64(attrN)
+	}
+	return 1 - float64(attrN)/float64(len(ids)), true
+}
+
+// domainValues returns the candidate single-value categories for a
+// categorical attribute, ordered by occurrence count descending (§5.1.2):
+// the values of the query's IN clause when present, otherwise the distinct
+// values appearing in the union of the level's tuple-sets.
+func (lc *levelContext) domainValues(attr string, s []*Node) []string {
+	var values []string
+	if lc.q != nil {
+		if c := lc.q.Cond(attr); c != nil && !c.IsRange {
+			values = append(values, c.Values...)
+		}
+	}
+	if values == nil {
+		seen := make(map[string]struct{})
+		pos, ok := lc.r.Schema().Lookup(attr)
+		if !ok {
+			return nil
+		}
+		for _, n := range s {
+			for _, i := range n.Tset {
+				seen[lc.r.Row(i)[pos].Str] = struct{}{}
+			}
+		}
+		values = make([]string, 0, len(seen))
+		for v := range seen {
+			values = append(values, v)
+		}
+	}
+	sort.Slice(values, func(i, j int) bool {
+		oi, oj := lc.stats.Occ(attr, values[i]), lc.stats.Occ(attr, values[j])
+		if oi != oj {
+			return oi > oj
+		}
+		return values[i] < values[j]
+	})
+	return values
+}
+
+// domainRange returns the numeric domain [vmin, vmax] the level partitions:
+// the query's range condition when fully bounded (§5.1.3), otherwise the
+// data min/max across the level's tuple-sets.
+func (lc *levelContext) domainRange(attr string, s []*Node) (vmin, vmax float64, ok bool) {
+	if lc.q != nil {
+		if c := lc.q.Cond(attr); c != nil && c.IsRange && c.LoSet && c.HiSet {
+			return c.Lo, c.Hi, true
+		}
+	}
+	vmin, vmax = math.Inf(1), math.Inf(-1)
+	pos, found := lc.r.Schema().Lookup(attr)
+	if !found {
+		return 0, 0, false
+	}
+	any := false
+	for _, n := range s {
+		for _, i := range n.Tset {
+			v := lc.r.Row(i)[pos].Num
+			if v < vmin {
+				vmin = v
+			}
+			if v > vmax {
+				vmax = v
+			}
+			any = true
+		}
+	}
+	return vmin, vmax, any
+}
+
+// categoricalPlan implements §5.1.2: single-value categories, one per domain
+// value, presented in decreasing occurrence-count order; empty categories
+// are dropped per node.
+func (lc *levelContext) categoricalPlan(attr string, s []*Node) *plan {
+	scl := lc.domainValues(attr, s)
+	if len(scl) == 0 {
+		return nil
+	}
+	pos, _ := lc.r.Schema().Lookup(attr)
+	nAttr := lc.stats.NAttr(attr)
+	pOf := func(v string) float64 {
+		if nAttr == 0 {
+			return 1
+		}
+		p := float64(lc.stats.Occ(attr, v)) / float64(nAttr)
+		if p > 1 {
+			p = 1
+		}
+		return p
+	}
+	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
+	order := make(map[string]int, len(scl))
+	for i, v := range scl {
+		order[v] = i
+	}
+	for si, n := range s {
+		buckets := make(map[string][]int)
+		for _, i := range n.Tset {
+			v := lc.r.Row(i)[pos].Str
+			buckets[v] = append(buckets[v], i)
+		}
+		specs := make([]childSpec, 0, len(buckets))
+		for v, tset := range buckets {
+			if _, known := order[v]; !known {
+				// Value outside the query's IN clause cannot appear in R
+				// when the query constrains attr; when browsing, scl already
+				// covers the domain. Guard anyway.
+				order[v] = len(order)
+			}
+			specs = append(specs, childSpec{
+				label: Label{Kind: LabelValue, Attr: attr, Value: v},
+				tset:  tset,
+				p:     pOf(v),
+			})
+		}
+		sort.Slice(specs, func(a, b int) bool {
+			return order[specs[a].label.Value] < order[specs[b].label.Value]
+		})
+		specs = lc.mergeOther(attr, specs, nAttr)
+		lc.applyConditional(pl, si, n, specs)
+		pl.children[si] = specs
+	}
+	return pl
+}
+
+// mergeOther enforces Options.MaxCategories: the tail of the occ-ordered
+// single-value categories collapses into one multi-value "Other" category
+// whose exploration probability is the capped sum of its members'.
+func (lc *levelContext) mergeOther(attr string, specs []childSpec, nAttr int) []childSpec {
+	max := lc.opts.MaxCategories
+	if max <= 1 || len(specs) <= max {
+		return specs
+	}
+	head := specs[:max-1]
+	tail := specs[max-1:]
+	values := make([]string, 0, len(tail))
+	var tset []int
+	occSum := 0
+	for _, sp := range tail {
+		values = append(values, sp.label.Value)
+		tset = append(tset, sp.tset...)
+		occSum += lc.stats.Occ(attr, sp.label.Value)
+	}
+	sort.Strings(values)
+	sort.Ints(tset)
+	p := 1.0
+	if nAttr > 0 {
+		if occSum > nAttr {
+			occSum = nAttr
+		}
+		p = float64(occSum) / float64(nAttr)
+	}
+	other := childSpec{
+		label: Label{Kind: LabelValueSet, Attr: attr, Values: values},
+		tset:  tset,
+		p:     p,
+	}
+	return append(head, other)
+}
+
+// applyConditional records the conditional probabilities for node si when
+// the correlation model has enough support, keeping categories ordered by
+// decreasing (now conditional) exploration probability for categorical
+// levels. Numeric buckets keep their ascending-value order per §5.1.3.
+func (lc *levelContext) applyConditional(pl *plan, si int, n *Node, specs []childSpec) {
+	pw, ok := lc.conditionalProbs(n, specs)
+	if !ok {
+		return
+	}
+	if pl.pw == nil {
+		pl.pw = make([]float64, len(pl.children))
+		for i := range pl.pw {
+			pl.pw[i] = -1
+		}
+	}
+	pl.pw[si] = pw
+	if len(specs) > 0 && specs[0].label.Kind == LabelValue {
+		sort.SliceStable(specs, func(a, b int) bool { return specs[a].p > specs[b].p })
+	}
+}
+
+// numericPlan implements §5.1.3: per node, choose the top (m−1) necessary
+// splitpoints by workload goodness and emit the resulting buckets in
+// ascending value order. The splitpoint list is computed once per level; the
+// necessity test — each adjacent bucket keeps at least MinBucket tuples — is
+// per node.
+func (lc *levelContext) numericPlan(attr string, s []*Node) *plan {
+	vmin, vmax, ok := lc.domainRange(attr, s)
+	if !ok || vmin >= vmax {
+		return nil
+	}
+	st := lc.stats.Splits(attr)
+	var spl []workload.Splitpoint
+	if st != nil {
+		spl = st.Candidates(vmin, vmax, true, lc.opts.MaxZeroCandidates)
+	}
+	nAttr := lc.stats.NAttr(attr)
+	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
+	pos, _ := lc.r.Schema().Lookup(attr)
+	for si, n := range s {
+		vals := make([]float64, len(n.Tset))
+		idx := make([]int, len(n.Tset))
+		copy(idx, n.Tset)
+		sort.Slice(idx, func(a, b int) bool {
+			return lc.r.Row(idx[a])[pos].Num < lc.r.Row(idx[b])[pos].Num
+		})
+		for k, i := range idx {
+			vals[k] = lc.r.Row(i)[pos].Num
+		}
+		cuts := selectSplitpoints(spl, vals, lc.maxBuckets(spl)-1, lc.opts.MinBucket)
+		specs := lc.buildBuckets(attr, vmin, vmax, cuts, vals, idx, nAttr)
+		lc.applyConditional(pl, si, n, specs)
+		pl.children[si] = specs
+	}
+	return pl
+}
+
+// maxBuckets returns m for this level: the configured maximum, or — with
+// AutoBuckets — as many splitpoints as score at least 5% of the best
+// goodness (the paper notes goodness may determine m automatically).
+func (lc *levelContext) maxBuckets(spl []workload.Splitpoint) int {
+	m := lc.opts.MaxBuckets
+	if !lc.opts.AutoBuckets || len(spl) == 0 || spl[0].Goodness == 0 {
+		return m
+	}
+	threshold := spl[0].Goodness / 20
+	count := 0
+	for _, sp := range spl {
+		if sp.Goodness > threshold {
+			count++
+		}
+	}
+	if count+1 > m {
+		m = count + 1
+	}
+	return m
+}
+
+// selectSplitpoints walks the goodness-ordered candidates and keeps the
+// first need splitpoints that are necessary: within the currently chosen cut
+// set, both buckets adjacent to the new cut must retain at least minBucket
+// tuples (vals is the node's sorted value list). It returns the chosen cuts
+// in ascending order.
+func selectSplitpoints(spl []workload.Splitpoint, vals []float64, need, minBucket int) []float64 {
+	if need <= 0 || len(vals) == 0 {
+		return nil
+	}
+	var cuts []float64                    // kept sorted
+	countIn := func(lo, hi float64) int { // tuples with lo <= v < hi
+		return sort.SearchFloat64s(vals, hi) - sort.SearchFloat64s(vals, lo)
+	}
+	for _, cand := range spl {
+		if len(cuts) >= need {
+			break
+		}
+		pos := sort.SearchFloat64s(cuts, cand.Value)
+		if pos < len(cuts) && cuts[pos] == cand.Value {
+			continue
+		}
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if pos > 0 {
+			lo = cuts[pos-1]
+		}
+		if pos < len(cuts) {
+			hi = cuts[pos]
+		}
+		if countIn(lo, cand.Value) < minBucket || countIn(cand.Value, hi) < minBucket {
+			continue // unnecessary: a side would be too thin (§5.1.3)
+		}
+		cuts = append(cuts, 0)
+		copy(cuts[pos+1:], cuts[pos:])
+		cuts[pos] = cand.Value
+	}
+	return cuts
+}
+
+// buildBuckets materializes the ascending bucket children for one node from
+// the chosen cuts. idx/vals are the node's tuples sorted by attribute value.
+// Empty buckets are dropped; the last kept bucket closes its upper bound so
+// vmax is covered.
+func (lc *levelContext) buildBuckets(attr string, vmin, vmax float64, cuts, vals []float64, idx []int, nAttr int) []childSpec {
+	bounds := make([]float64, 0, len(cuts)+2)
+	bounds = append(bounds, vmin)
+	bounds = append(bounds, cuts...)
+	bounds = append(bounds, vmax)
+	var specs []childSpec
+	for b := 0; b+1 < len(bounds); b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		last := b+2 == len(bounds)
+		var start, end int
+		start = sort.SearchFloat64s(vals, lo)
+		if last {
+			end = len(vals)
+		} else {
+			end = sort.SearchFloat64s(vals, hi)
+		}
+		if start == end {
+			continue
+		}
+		label := Label{Kind: LabelRange, Attr: attr, Lo: lo, Hi: hi, HiInc: last}
+		p := 1.0
+		if nAttr > 0 {
+			phi := hi
+			if last {
+				phi = math.Nextafter(hi, math.Inf(1))
+			}
+			p = float64(lc.stats.NOverlapRange(attr, lo, phi)) / float64(nAttr)
+			if p > 1 {
+				p = 1
+			}
+		}
+		specs = append(specs, childSpec{label: label, tset: append([]int(nil), idx[start:end]...), p: p})
+	}
+	return specs
+}
+
+// planFor dispatches on the attribute's type. It returns nil when the
+// attribute is absent from the schema or yields no partition.
+func (lc *levelContext) planFor(attr string, s []*Node) *plan {
+	typ, ok := lc.r.Schema().TypeOf(attr)
+	if !ok {
+		return nil
+	}
+	var pl *plan
+	if typ == relation.Categorical {
+		pl = lc.categoricalPlan(attr, s)
+	} else {
+		pl = lc.numericPlan(attr, s)
+	}
+	if pl == nil || !pl.partitions() {
+		return nil
+	}
+	return pl
+}
+
+// planCost evaluates the Figure 6 objective for a plan:
+//
+//	COST_A = Σ_{C∈S} P(C) · CostAll(Tree(C, A))
+//
+// where Tree(C, A) is the two-level tree with C as root (SHOWTUPLES
+// probability 1−NAttr(A)/N) and the proposed children as leaves.
+func (lc *levelContext) planCost(pl *plan, s []*Node) float64 {
+	indepPw := lc.est.ShowTuplesProb(pl.attr)
+	total := 0.0
+	for si, n := range s {
+		specs := pl.children[si]
+		sizes := make([]int, len(specs))
+		ps := make([]float64, len(specs))
+		for i, sp := range specs {
+			sizes[i] = len(sp.tset)
+			ps[i] = sp.p
+		}
+		total += n.P * twoLevelCostAll(n.Size(), pl.nodePw(si, indepPw), lc.opts.K, sizes, ps)
+	}
+	return total
+}
+
+// attach materializes the winning plan: each node in S gets the plan's
+// children, its SubAttr, and its non-leaf SHOWTUPLES probability; the new
+// children start as leaves (Pw = 1). It returns the new frontier.
+func (lc *levelContext) attach(pl *plan, s []*Node) []*Node {
+	indepPw := lc.est.ShowTuplesProb(pl.attr)
+	var frontier []*Node
+	for si, n := range s {
+		specs := pl.children[si]
+		if len(specs) <= 1 {
+			continue // not worth a level for this node; stays a leaf
+		}
+		n.SubAttr = pl.attr
+		n.Pw = pl.nodePw(si, indepPw)
+		for _, sp := range specs {
+			child := &Node{Label: sp.label, Tset: sp.tset, P: sp.p, Pw: 1}
+			n.Children = append(n.Children, child)
+			frontier = append(frontier, child)
+			if lc.corr != nil {
+				lc.compat[child] = lc.corr.FilterCompatible(lc.compat[n], pathPred(child.Label))
+			}
+		}
+		if lc.corr != nil {
+			delete(lc.compat, n) // parent set no longer needed
+		}
+	}
+	return frontier
+}
+
+// equalFoldContains reports whether list contains s case-insensitively.
+func equalFoldContains(list []string, s string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, s) {
+			return true
+		}
+	}
+	return false
+}

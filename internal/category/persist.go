@@ -1,0 +1,85 @@
+package category
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/relation"
+)
+
+// Trees serialize without their relation: the structure (labels, tuple-set
+// indices, probabilities) is written, and LoadTree re-binds it to the
+// relation the indices refer to. This lets a service cache categorizations
+// of hot queries across restarts next to the persisted count tables.
+
+type nodeWire struct {
+	Label    Label
+	Tset     []int
+	SubAttr  string
+	P, Pw    float64
+	Children []nodeWire
+}
+
+type treeWire struct {
+	Root       nodeWire
+	LevelAttrs []string
+	K          float64
+}
+
+// Save writes the tree structure to w.
+func (t *Tree) Save(w io.Writer) error {
+	if t.Root == nil {
+		return fmt.Errorf("category: cannot save a rootless tree")
+	}
+	wire := treeWire{Root: toWire(t.Root), LevelAttrs: t.LevelAttrs, K: t.K}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("category: encoding tree: %w", err)
+	}
+	return nil
+}
+
+func toWire(n *Node) nodeWire {
+	out := nodeWire{Label: n.Label, Tset: n.Tset, SubAttr: n.SubAttr, P: n.P, Pw: n.Pw}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toWire(c))
+	}
+	return out
+}
+
+// LoadTree reads a tree written by Save and binds it to rel. The loaded
+// tree is validated: its tuple indices must be within rel and the structural
+// invariants (§3.1) must hold against rel's current contents — a changed
+// relation invalidates a cached tree.
+func LoadTree(r io.Reader, rel *relation.Relation) (*Tree, error) {
+	var wire treeWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("category: decoding tree: %w", err)
+	}
+	t := &Tree{Root: fromWire(&wire.Root), LevelAttrs: wire.LevelAttrs, K: wire.K, R: rel}
+	var bad error
+	t.Root.Walk(func(n *Node, _ int) bool {
+		for _, i := range n.Tset {
+			if i < 0 || i >= rel.Len() {
+				bad = fmt.Errorf("category: tree references tuple %d outside relation of %d rows", i, rel.Len())
+				return false
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("category: loaded tree does not match the relation: %w", err)
+	}
+	return t, nil
+}
+
+func fromWire(w *nodeWire) *Node {
+	n := &Node{Label: w.Label, Tset: w.Tset, SubAttr: w.SubAttr, P: w.P, Pw: w.Pw}
+	for i := range w.Children {
+		n.Children = append(n.Children, fromWire(&w.Children[i]))
+	}
+	return n
+}

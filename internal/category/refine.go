@@ -1,0 +1,63 @@
+package category
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sqlparse"
+)
+
+// RefineQuery turns an explored category path into a focused SQL query: the
+// base query's conditions conjoined with the labels on the path from the
+// root to the addressed node. This supports the reformulation loop the
+// paper's introduction describes — after browsing the tree, the user
+// narrows the query to the category she found interesting. base may be nil
+// (browsing); path is a sequence of child indexes from the root.
+func (t *Tree) RefineQuery(base *sqlparse.Query, path []int) (*sqlparse.Query, error) {
+	q := &sqlparse.Query{Table: t.R.Name}
+	if base != nil {
+		q = base.Clone()
+	}
+	n := t.Root
+	for step, i := range path {
+		if i < 0 || i >= len(n.Children) {
+			return nil, fmt.Errorf("category: path step %d (%d) out of range: node %q has %d children",
+				step, i, n.Label, len(n.Children))
+		}
+		n = n.Children[i]
+		cond, err := labelCondition(n.Label)
+		if err != nil {
+			return nil, err
+		}
+		if existing := q.Cond(cond.Attr); existing != nil {
+			if err := existing.Merge(cond); err != nil {
+				return nil, fmt.Errorf("category: refining on %q: %w", n.Label, err)
+			}
+		} else {
+			q.SetCond(cond)
+		}
+	}
+	return q, nil
+}
+
+// labelCondition converts a category label into a selection condition.
+func labelCondition(l Label) (*sqlparse.Condition, error) {
+	switch l.Kind {
+	case LabelValue:
+		return &sqlparse.Condition{Attr: l.Attr, Values: []string{l.Value}}, nil
+	case LabelValueSet:
+		return &sqlparse.Condition{Attr: l.Attr, Values: append([]string(nil), l.Values...)}, nil
+	case LabelRange:
+		c := &sqlparse.Condition{Attr: l.Attr, IsRange: true}
+		if !math.IsInf(l.Lo, -1) {
+			c.Lo, c.LoSet = l.Lo, true
+		}
+		if !math.IsInf(l.Hi, 1) {
+			c.Hi, c.HiSet = l.Hi, true
+			c.HiStrict = !l.HiInc
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("category: cannot refine on label %q", l)
+	}
+}

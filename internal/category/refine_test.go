@@ -1,0 +1,150 @@
+package category
+
+import (
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func refineFixture(t *testing.T) (*Tree, *sqlparse.Query) {
+	t.Helper()
+	r := testRelation(500)
+	q := sqlparse.MustParse("SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000")
+	rows := r.Select(q.Predicate())
+	c := NewCategorizer(testStats(t), Options{M: 20, X: 0.1})
+	tree, err := c.CategorizeRows(r, q, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Fatal("fixture tree is trivial")
+	}
+	return tree, q
+}
+
+// TestRefineQuerySelectsExactlyTset: the refined query must select exactly
+// the tuples in the addressed node's tuple-set.
+func TestRefineQuerySelectsExactlyTset(t *testing.T) {
+	tree, base := refineFixture(t)
+	paths := [][]int{{0}, {len(tree.Root.Children) - 1}}
+	if !tree.Root.Children[0].IsLeaf() {
+		paths = append(paths, []int{0, 0})
+	}
+	for _, path := range paths {
+		refined, err := tree.RefineQuery(base, path)
+		if err != nil {
+			t.Fatalf("RefineQuery(%v): %v", path, err)
+		}
+		node := tree.Root
+		for _, i := range path {
+			node = node.Children[i]
+		}
+		got := tree.R.Select(refined.Predicate())
+		want := map[int]bool{}
+		for _, i := range node.Tset {
+			want[i] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("path %v: refined query selects %d rows, tset has %d\nsql: %s",
+				path, len(got), len(want), refined)
+		}
+		for _, i := range got {
+			if !want[i] {
+				t.Fatalf("path %v: refined query selects row %d outside tset", path, i)
+			}
+		}
+	}
+}
+
+func TestRefineQueryParsesBack(t *testing.T) {
+	tree, base := refineFixture(t)
+	refined, err := tree.RefineQuery(base, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlparse.Parse(refined.String()); err != nil {
+		t.Fatalf("refined SQL does not parse: %v\n%s", err, refined)
+	}
+}
+
+func TestRefineQueryNilBase(t *testing.T) {
+	tree, _ := refineFixture(t)
+	refined, err := tree.RefineQuery(nil, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Table != "ListProperty" {
+		t.Fatalf("table = %q", refined.Table)
+	}
+	if len(refined.Conds) == 0 {
+		t.Fatal("refined query has no conditions")
+	}
+}
+
+func TestRefineQueryEmptyPath(t *testing.T) {
+	tree, base := refineFixture(t)
+	refined, err := tree.RefineQuery(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.String() != base.String() {
+		t.Fatalf("empty path should reproduce the base query: %s vs %s", refined, base)
+	}
+	// And must be a copy, not the same object.
+	refined.RemoveCond("price")
+	if base.Cond("price") == nil {
+		t.Fatal("RefineQuery mutated the base query")
+	}
+}
+
+func TestRefineQueryBadPath(t *testing.T) {
+	tree, base := refineFixture(t)
+	if _, err := tree.RefineQuery(base, []int{999}); err == nil {
+		t.Fatal("out-of-range path should error")
+	}
+	if _, err := tree.RefineQuery(base, []int{-1}); err == nil {
+		t.Fatal("negative path should error")
+	}
+}
+
+func TestRefineQueryMergesRangeWithBase(t *testing.T) {
+	tree, base := refineFixture(t)
+	// Find a range-labeled node at level 1 or 2.
+	var path []int
+	var found *Node
+	for i, c := range tree.Root.Children {
+		if c.Label.Kind == LabelRange {
+			path, found = []int{i}, c
+			break
+		}
+		for j, g := range c.Children {
+			if g.Label.Kind == LabelRange {
+				path, found = []int{i, j}, g
+				break
+			}
+		}
+		if found != nil {
+			break
+		}
+	}
+	if found == nil {
+		t.Skip("no range label in fixture tree")
+	}
+	refined, err := tree.RefineQuery(base, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := refined.Cond(found.Label.Attr)
+	if cond == nil || !cond.IsRange {
+		t.Fatalf("refined condition on %s missing: %s", found.Label.Attr, refined)
+	}
+	// The refined interval must sit inside the base interval when both
+	// constrain the same attribute.
+	if baseCond := base.Cond(found.Label.Attr); baseCond != nil {
+		lo, hi := cond.Interval()
+		blo, bhi := baseCond.Interval()
+		if lo < blo || hi > bhi {
+			t.Fatalf("refined interval [%v,%v] outside base [%v,%v]", lo, hi, blo, bhi)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := Dataset(DatasetConfig{Rows: 200, Seed: 5})
+	b := Dataset(DatasetConfig{Rows: 200, Seed: 5})
+	if a.Len() != 200 || b.Len() != 200 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ra[j], rb[j])
+			}
+		}
+	}
+	c := Dataset(DatasetConfig{Rows: 200, Seed: 6})
+	same := true
+	for i := 0; i < 20 && same; i++ {
+		for j := range a.Row(i) {
+			if a.Row(i)[j] != c.Row(i)[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prefixes")
+	}
+}
+
+func TestDatasetSchemaWidth(t *testing.T) {
+	r := Dataset(DatasetConfig{Rows: 10})
+	if got := r.Schema().Len(); got != 53 {
+		t.Fatalf("schema width = %d; want 53 (10 primary + 43 filler)", got)
+	}
+	for _, name := range []string{AttrNeighborhood, AttrPrice, AttrBedrooms, AttrBaths, AttrPropertyType, AttrSqft} {
+		if _, ok := r.Schema().Lookup(name); !ok {
+			t.Errorf("missing attribute %q", name)
+		}
+	}
+}
+
+func TestDatasetValueSanity(t *testing.T) {
+	r := Dataset(DatasetConfig{Rows: 3000, Seed: 9})
+	pPos, _ := r.Schema().Lookup(AttrPrice)
+	bPos, _ := r.Schema().Lookup(AttrBedrooms)
+	sPos, _ := r.Schema().Lookup(AttrSqft)
+	yPos, _ := r.Schema().Lookup(AttrYearBuilt)
+	hPos, _ := r.Schema().Lookup(AttrNeighborhood)
+	tPos, _ := r.Schema().Lookup(AttrPropertyType)
+	typeSet := map[string]bool{}
+	for _, pt := range PropertyTypes() {
+		typeSet[pt] = true
+	}
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		if p := row[pPos].Num; p < 40000 || p > 5000000 {
+			t.Fatalf("row %d price %v out of range", i, p)
+		}
+		if b := row[bPos].Num; b < 1 || b > 9 {
+			t.Fatalf("row %d bedrooms %v out of range", i, b)
+		}
+		if s := row[sPos].Num; s < 300 {
+			t.Fatalf("row %d sqft %v too small", i, s)
+		}
+		if y := row[yPos].Num; y < 1900 || y > 2004 {
+			t.Fatalf("row %d year %v out of range", i, y)
+		}
+		if _, ok := RegionOf(row[hPos].Str); !ok {
+			t.Fatalf("row %d neighborhood %q not in any region", i, row[hPos].Str)
+		}
+		if !typeSet[row[tPos].Str] {
+			t.Fatalf("row %d property type %q unknown", i, row[tPos].Str)
+		}
+	}
+}
+
+func TestDatasetPriceSizeCorrelation(t *testing.T) {
+	r := Dataset(DatasetConfig{Rows: 5000, Seed: 3})
+	pPos, _ := r.Schema().Lookup(AttrPrice)
+	sPos, _ := r.Schema().Lookup(AttrSqft)
+	// Within one region (fixed base price), bigger homes must cost more on
+	// average: compare mean price of small vs large homes in Seattle.
+	hPos, _ := r.Schema().Lookup(AttrNeighborhood)
+	var small, large []float64
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		if !strings.HasSuffix(row[hPos].Str, ", WA") {
+			continue
+		}
+		if row[sPos].Num < 1200 {
+			small = append(small, row[pPos].Num)
+		} else if row[sPos].Num > 2200 {
+			large = append(large, row[pPos].Num)
+		}
+	}
+	if len(small) < 20 || len(large) < 20 {
+		t.Fatalf("too few samples: %d small, %d large", len(small), len(large))
+	}
+	if mean(large) <= mean(small) {
+		t.Fatalf("price not correlated with size: large %.0f <= small %.0f", mean(large), mean(small))
+	}
+}
+
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+func TestWorkloadSQLParses(t *testing.T) {
+	queries := WorkloadSQL(WorkloadConfig{Queries: 500, Seed: 11})
+	if len(queries) != 500 {
+		t.Fatalf("got %d queries", len(queries))
+	}
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatalf("generated workload failed to parse: %v", err)
+	}
+	if w.Len() != 500 {
+		t.Fatalf("parsed %d of 500", w.Len())
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := WorkloadSQL(WorkloadConfig{Queries: 100, Seed: 4})
+	b := WorkloadSQL(WorkloadConfig{Queries: 100, Seed: 4})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWorkloadEliminationMatchesPaper is the Figure 4 shape check: with
+// x = 0.4 exactly the paper's six attributes survive, and neighborhood is
+// the most used.
+func TestWorkloadEliminationMatchesPaper(t *testing.T) {
+	queries := WorkloadSQL(WorkloadConfig{Queries: 8000, Seed: 2})
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := workload.Preprocess(w, workload.Config{Table: TableName, Intervals: Intervals()})
+	retained := stats.Retained(0.4)
+	want := map[string]bool{
+		AttrNeighborhood: true, AttrPrice: true, AttrBedrooms: true,
+		AttrBaths: true, AttrPropertyType: true, AttrSqft: true,
+	}
+	if len(retained) != 6 {
+		t.Fatalf("Retained(0.4) = %v; want the paper's 6 attributes", retained)
+	}
+	for _, a := range retained {
+		if !want[strings.ToLower(a)] {
+			t.Fatalf("unexpected retained attribute %q", a)
+		}
+	}
+	if !strings.EqualFold(retained[0], AttrNeighborhood) {
+		t.Fatalf("most-used attribute = %q; want neighborhood (Figure 4a)", retained[0])
+	}
+	if frac := stats.UsageFraction(AttrYearBuilt); frac >= 0.4 {
+		t.Fatalf("yearbuilt usage %.2f; must fall below x=0.4", frac)
+	}
+}
+
+// TestWorkloadSplitpointGoodnessConcentrated: price endpoints snap to 25000
+// multiples most of the time, so high-goodness splitpoints exist.
+func TestWorkloadSplitpointGoodnessConcentrated(t *testing.T) {
+	queries := WorkloadSQL(WorkloadConfig{Queries: 4000, Seed: 2})
+	w, _ := workload.ParseStrings(queries)
+	stats := workload.Preprocess(w, workload.Config{Table: TableName, Intervals: Intervals()})
+	st := stats.Splits(AttrPrice)
+	if st == nil {
+		t.Fatal("no price split table")
+	}
+	cands := st.Candidates(50000, 2000000, false, 0)
+	if len(cands) == 0 {
+		t.Fatal("no scored splitpoints")
+	}
+	best := cands[0]
+	if best.Goodness < 50 {
+		t.Fatalf("best splitpoint goodness = %d; expected strong concentration", best.Goodness)
+	}
+	if int(best.Value)%25000 != 0 {
+		t.Fatalf("best splitpoint %v not on the 25000 grid", best.Value)
+	}
+}
+
+func TestBroaden(t *testing.T) {
+	w := sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA','Redmond, WA') AND price BETWEEN 200000 AND 300000 AND bedroomcount >= 3")
+	q, ok := Broaden(w)
+	if !ok {
+		t.Fatal("Broaden failed")
+	}
+	if len(q.Conds) != 1 {
+		t.Fatalf("broadened query should keep only the neighborhood condition, got %d", len(q.Conds))
+	}
+	c := q.Cond(AttrNeighborhood)
+	if len(c.Values) != 10 {
+		t.Fatalf("broadened to %d neighborhoods; want all 10 of Seattle/Bellevue", len(c.Values))
+	}
+	// The original's neighborhoods must be included.
+	set := map[string]bool{}
+	for _, v := range c.Values {
+		set[v] = true
+	}
+	if !set["Bellevue, WA"] || !set["Redmond, WA"] {
+		t.Fatal("broadened set must contain the original neighborhoods")
+	}
+}
+
+func TestBroadenNoHood(t *testing.T) {
+	w := sqlparse.MustParse("SELECT * FROM ListProperty WHERE price BETWEEN 1 AND 2")
+	if _, ok := Broaden(w); ok {
+		t.Fatal("Broaden should fail without a neighborhood condition")
+	}
+	w2 := sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Atlantis, XX')")
+	if _, ok := Broaden(w2); ok {
+		t.Fatal("Broaden should fail for unknown neighborhoods")
+	}
+}
+
+// TestBroadenSubsumes: every tuple matching W also matches Broaden(W).
+func TestBroadenSubsumes(t *testing.T) {
+	r := Dataset(DatasetConfig{Rows: 2000, Seed: 8})
+	queries := WorkloadSQL(WorkloadConfig{Queries: 50, Seed: 13})
+	for _, src := range queries {
+		w := sqlparse.MustParse(src)
+		q, ok := Broaden(w)
+		if !ok {
+			continue
+		}
+		wRows := r.Select(w.Predicate())
+		qSet := map[int]bool{}
+		for _, i := range r.Select(q.Predicate()) {
+			qSet[i] = true
+		}
+		for _, i := range wRows {
+			if !qSet[i] {
+				t.Fatalf("broadened query does not subsume %q at row %d", src, i)
+			}
+		}
+	}
+}
+
+// TestNarrowImpliesTask: every tuple matching Narrow(task) matches task.
+func TestNarrowImpliesTask(t *testing.T) {
+	r := Dataset(DatasetConfig{Rows: 3000, Seed: 14})
+	rng := rand.New(rand.NewSource(21))
+	for ti, task := range Tasks() {
+		for trial := 0; trial < 5; trial++ {
+			interest := Narrow(task, rng)
+			taskSet := map[int]bool{}
+			for _, i := range r.Select(task.Predicate()) {
+				taskSet[i] = true
+			}
+			for _, i := range r.Select(interest.Predicate()) {
+				if !taskSet[i] {
+					t.Fatalf("task %d trial %d: narrowed interest not contained in task", ti+1, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestTasksShape(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 4 {
+		t.Fatalf("want 4 tasks, got %d", len(tasks))
+	}
+	if c := tasks[2].Cond(AttrNeighborhood); c == nil || len(c.Values) != 15 {
+		t.Fatal("task 3 must name 15 NYC neighborhoods")
+	}
+	if c := tasks[3].Cond(AttrBedrooms); c == nil || c.Lo != 3 || c.Hi != 4 {
+		t.Fatal("task 4 must constrain bedrooms 3-4")
+	}
+	r := Dataset(DatasetConfig{Rows: 5000, Seed: 1})
+	for i, task := range tasks {
+		if n := len(r.Select(task.Predicate())); n == 0 {
+			t.Errorf("task %d matches no homes in the synthetic dataset", i+1)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	reg, ok := RegionOf("Kirkland, WA")
+	if !ok || reg.Name != "Seattle/Bellevue" {
+		t.Fatalf("RegionOf(Kirkland) = %v, %v", reg.Name, ok)
+	}
+	if _, ok := RegionOf("Nowhere, ZZ"); ok {
+		t.Fatal("unknown neighborhood should not resolve")
+	}
+}
+
+func TestRegionWeightsAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	total := 0.0
+	for _, reg := range Regions() {
+		total += reg.Weight
+		if reg.Weight <= 0 {
+			t.Errorf("region %s has non-positive weight", reg.Name)
+		}
+		for _, h := range reg.Neighborhoods {
+			if seen[h] {
+				t.Errorf("neighborhood %q appears in two regions", h)
+			}
+			seen[h] = true
+			if !strings.HasSuffix(h, ", "+reg.State) {
+				t.Errorf("neighborhood %q does not carry state %s", h, reg.State)
+			}
+		}
+	}
+	if total < 0.95 || total > 1.05 {
+		t.Errorf("region weights sum to %v; want ≈1", total)
+	}
+}
+
+func TestZipStable(t *testing.T) {
+	if zipFor("Bellevue, WA", 0) != zipFor("Bellevue, WA", 0) {
+		t.Fatal("zipFor not deterministic")
+	}
+	if zipFor("Bellevue, WA", 0) == zipFor("Bellevue, WA", 1) {
+		t.Fatal("zip variants should differ")
+	}
+	if len(zipFor("X", 0)) != 5 {
+		t.Fatal("zip must be 5 digits")
+	}
+}
+
+func TestSchemaTypes(t *testing.T) {
+	s := Schema(DatasetConfig{})
+	if typ, _ := s.TypeOf(AttrPrice); typ != relation.Numeric {
+		t.Error("price must be numeric")
+	}
+	if typ, _ := s.TypeOf(AttrNeighborhood); typ != relation.Categorical {
+		t.Error("neighborhood must be categorical")
+	}
+}

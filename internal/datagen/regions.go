@@ -1,0 +1,169 @@
+// Package datagen synthesizes the evaluation substrate the paper used but
+// we cannot obtain: the MSN House&Home ListProperty table (1.7M homes, 53
+// attributes) and its workload of 176,262 real buyer queries. The generator
+// reproduces the structural properties the algorithms depend on — regional
+// neighborhood clustering, price/size/bedroom correlation, many
+// rarely-queried attributes, attribute-usage skew matching Figure 4, and
+// range endpoints clustering on round numbers so splitpoint goodness is
+// informative — without any proprietary data. Everything is deterministic
+// given a seed.
+package datagen
+
+// Region is one metro market: its neighborhoods share a price level and are
+// co-requested in buyer queries.
+type Region struct {
+	// Name identifies the metro, e.g. "Seattle/Bellevue".
+	Name string
+	// Neighborhoods are rendered as "City, ST" strings, the IN-clause values
+	// of workload queries.
+	Neighborhoods []string
+	// State is the two-letter state code.
+	State string
+	// BasePrice is the metro's median asking price; listing prices are
+	// log-normally spread around it.
+	BasePrice float64
+	// Weight is the metro's share of buyer attention in the workload.
+	Weight float64
+}
+
+// Regions returns the ten synthetic metro markets. The first entries mirror
+// the regions the paper's tasks name (Seattle/Bellevue, Bay Area, NYC).
+func Regions() []Region {
+	return []Region{
+		{
+			Name:  "Seattle/Bellevue",
+			State: "WA",
+			Neighborhoods: []string{
+				"Seattle, WA", "Bellevue, WA", "Redmond, WA", "Kirkland, WA",
+				"Issaquah, WA", "Sammamish, WA", "Renton, WA", "Bothell, WA",
+				"Mercer Island, WA", "Woodinville, WA",
+			},
+			BasePrice: 350000,
+			Weight:    0.4,
+		},
+		{
+			Name:  "Bay Area - Penin/SanJose",
+			State: "CA",
+			Neighborhoods: []string{
+				"San Jose, CA", "Palo Alto, CA", "Mountain View, CA", "Sunnyvale, CA",
+				"Cupertino, CA", "Santa Clara, CA", "Menlo Park, CA", "Redwood City, CA",
+				"Campbell, CA", "Los Gatos, CA", "Milpitas, CA",
+			},
+			BasePrice: 550000,
+			Weight:    0.22,
+		},
+		{
+			Name:  "NYC - Manhattan, Bronx",
+			State: "NY",
+			Neighborhoods: []string{
+				"Upper East Side, NY", "Upper West Side, NY", "Harlem, NY", "Chelsea, NY",
+				"Greenwich Village, NY", "Tribeca, NY", "SoHo, NY", "Riverdale, NY",
+				"Fordham, NY", "Pelham Bay, NY", "Morris Park, NY", "Midtown, NY",
+				"Battery Park, NY", "Inwood, NY", "Washington Heights, NY",
+			},
+			BasePrice: 650000,
+			Weight:    0.13,
+		},
+		{
+			Name:  "Chicago",
+			State: "IL",
+			Neighborhoods: []string{
+				"Lincoln Park, IL", "Lakeview, IL", "Wicker Park, IL", "Hyde Park, IL",
+				"Evanston, IL", "Oak Park, IL", "Naperville, IL", "Schaumburg, IL",
+			},
+			BasePrice: 280000,
+			Weight:    0.08,
+		},
+		{
+			Name:  "Boston",
+			State: "MA",
+			Neighborhoods: []string{
+				"Back Bay, MA", "Cambridge, MA", "Somerville, MA", "Brookline, MA",
+				"Newton, MA", "Quincy, MA", "Medford, MA", "Waltham, MA",
+			},
+			BasePrice: 420000,
+			Weight:    0.055,
+		},
+		{
+			Name:  "Austin",
+			State: "TX",
+			Neighborhoods: []string{
+				"Downtown Austin, TX", "Hyde Park Austin, TX", "Round Rock, TX",
+				"Cedar Park, TX", "Pflugerville, TX", "Westlake, TX", "Mueller, TX",
+			},
+			BasePrice: 220000,
+			Weight:    0.04,
+		},
+		{
+			Name:  "Denver",
+			State: "CO",
+			Neighborhoods: []string{
+				"Capitol Hill, CO", "Highlands, CO", "Cherry Creek, CO", "Aurora, CO",
+				"Lakewood, CO", "Littleton, CO", "Arvada, CO",
+			},
+			BasePrice: 260000,
+			Weight:    0.03,
+		},
+		{
+			Name:  "Atlanta",
+			State: "GA",
+			Neighborhoods: []string{
+				"Midtown Atlanta, GA", "Buckhead, GA", "Decatur, GA", "Sandy Springs, GA",
+				"Marietta, GA", "Alpharetta, GA", "Smyrna, GA",
+			},
+			BasePrice: 190000,
+			Weight:    0.02,
+		},
+		{
+			Name:  "Phoenix",
+			State: "AZ",
+			Neighborhoods: []string{
+				"Scottsdale, AZ", "Tempe, AZ", "Mesa, AZ", "Chandler, AZ",
+				"Glendale, AZ", "Gilbert, AZ", "Peoria, AZ",
+			},
+			BasePrice: 170000,
+			Weight:    0.015,
+		},
+		{
+			Name:  "Minneapolis",
+			State: "MN",
+			Neighborhoods: []string{
+				"Uptown, MN", "Northeast Minneapolis, MN", "St. Paul, MN", "Edina, MN",
+				"Bloomington, MN", "Plymouth, MN", "Maple Grove, MN",
+			},
+			BasePrice: 210000,
+			Weight:    0.01,
+		},
+	}
+}
+
+// HoodPriceFactor returns the intra-region price multiplier of the i-th of
+// n neighborhoods: prominent (early-listed) neighborhoods are pricier, the
+// tail cheaper — real metros have this spread, buyers know it (their price
+// ranges correlate with the neighborhoods they pick), and it is exactly the
+// hood↔price correlation the §5.2 conditional probability model exploits.
+func HoodPriceFactor(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1.35 - 0.7*float64(i)/float64(n-1)
+}
+
+// RegionOf returns the region containing the given neighborhood and whether
+// one exists.
+func RegionOf(neighborhood string) (Region, bool) {
+	for _, r := range Regions() {
+		for _, n := range r.Neighborhoods {
+			if n == neighborhood {
+				return r, true
+			}
+		}
+	}
+	return Region{}, false
+}
+
+// PropertyTypes are the categorical property-type domain values, most common
+// first.
+func PropertyTypes() []string {
+	return []string{"Single Family", "Condo", "Townhouse", "Multi-Family", "Mobile Home", "Land"}
+}

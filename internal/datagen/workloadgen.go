@@ -1,0 +1,313 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// WorkloadConfig controls the synthetic buyer-query generator.
+type WorkloadConfig struct {
+	// Queries is the number of SQL strings to emit. Default 20000.
+	Queries int
+	// Seed makes generation deterministic. Default 2.
+	Seed int64
+	// FillerAttrs must match the dataset's so cold-attribute conditions
+	// reference real columns. Default 43.
+	FillerAttrs int
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Queries == 0 {
+		c.Queries = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 2
+	}
+	if c.FillerAttrs == 0 {
+		c.FillerAttrs = 43
+	}
+	return c
+}
+
+// Grid spacings for range endpoints: buyers think in round numbers, which is
+// what gives workload splitpoints their goodness mass (Figure 5). These
+// equal the paper's separation intervals for price/sqft/year.
+const (
+	PriceGrid = 25000
+	SqftGrid  = 250
+	YearGrid  = 5
+)
+
+// Intervals returns the splitpoint separation intervals to preprocess the
+// workload with — the paper's settings (price 5000, square footage 100,
+// year-built 5) plus unit grids for the small integer attributes.
+func Intervals() map[string]float64 {
+	return map[string]float64{
+		AttrPrice:     5000,
+		AttrSqft:      100,
+		AttrYearBuilt: 5,
+		AttrBedrooms:  1,
+		AttrBaths:     1,
+	}
+}
+
+// attribute inclusion probabilities, tuned so that with x = 0.4 exactly the
+// paper's six attributes survive elimination (neighborhood, price,
+// bedroomcount, bathcount, property-type, square footage) and usage order
+// mirrors Figure 4(a): neighborhood > bedrooms > price > sqft > year-built.
+const (
+	pHood  = 0.78
+	pBeds  = 0.66
+	pPrice = 0.58
+	pSqft  = 0.47
+	pBath  = 0.44
+	pType  = 0.42
+	pYear  = 0.24
+	pFill  = 0.004
+)
+
+// WorkloadSQL generates buyer query strings over ListProperty. Each query
+// focuses on one metro region and constrains a random subset of attributes,
+// with range endpoints snapped to round-number grids.
+func WorkloadSQL(cfg WorkloadConfig) []string {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	regions := Regions()
+	out := make([]string, 0, cfg.Queries)
+	for len(out) < cfg.Queries {
+		q := genQuery(rng, regions, cfg.FillerAttrs)
+		if q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func genQuery(rng *rand.Rand, regions []Region, fillers int) string {
+	reg := pickRegion(rng, regions)
+	var conds []string
+
+	// Buyers who target pricier neighborhoods shop pricier bands: the
+	// hood↔price correlation of real workloads.
+	hoodFactor := 1.0
+	if rng.Float64() < pHood {
+		k := 2 + rng.Intn(4)
+		if k > len(reg.Neighborhoods) {
+			k = len(reg.Neighborhoods)
+		}
+		picked := pickHoods(rng, len(reg.Neighborhoods), k)
+		quoted := make([]string, k)
+		sum := 0.0
+		for i, p := range picked {
+			quoted[i] = "'" + strings.ReplaceAll(reg.Neighborhoods[p], "'", "''") + "'"
+			sum += HoodPriceFactor(p, len(reg.Neighborhoods))
+		}
+		hoodFactor = sum / float64(k)
+		conds = append(conds, fmt.Sprintf("%s IN (%s)", AttrNeighborhood, strings.Join(quoted, ", ")))
+	}
+	if rng.Float64() < pPrice {
+		lo, hi := priceBand(rng, reg.BasePrice*hoodFactor)
+		conds = append(conds, fmt.Sprintf("%s BETWEEN %d AND %d", AttrPrice, int(lo), int(hi)))
+	}
+	if rng.Float64() < pBeds {
+		lo := 1 + rng.Intn(4)
+		hi := lo + rng.Intn(3)
+		if rng.Float64() < 0.35 {
+			conds = append(conds, fmt.Sprintf("%s >= %d", AttrBedrooms, lo))
+		} else {
+			conds = append(conds, fmt.Sprintf("%s BETWEEN %d AND %d", AttrBedrooms, lo, hi))
+		}
+	}
+	if rng.Float64() < pBath {
+		conds = append(conds, fmt.Sprintf("%s >= %d", AttrBaths, 1+rng.Intn(3)))
+	}
+	if rng.Float64() < pType {
+		types := PropertyTypes()
+		k := 1 + rng.Intn(2)
+		perm := rng.Perm(3)[:k] // buyers mostly pick among the common types
+		quoted := make([]string, k)
+		for i, p := range perm {
+			quoted[i] = "'" + types[p] + "'"
+		}
+		conds = append(conds, fmt.Sprintf("%s IN (%s)", AttrPropertyType, strings.Join(quoted, ", ")))
+	}
+	if rng.Float64() < pSqft {
+		lo := float64(750 + rng.Intn(8)*SqftGrid)
+		hi := lo + float64((2+rng.Intn(8))*SqftGrid)
+		conds = append(conds, fmt.Sprintf("%s BETWEEN %d AND %d", AttrSqft, int(lo), int(hi)))
+	}
+	if rng.Float64() < pYear {
+		lo := 1940 + rng.Intn(12)*YearGrid
+		conds = append(conds, fmt.Sprintf("%s >= %d", AttrYearBuilt, lo))
+	}
+	for f := 0; f < fillers; f++ {
+		if rng.Float64() < pFill {
+			if fillerIsNumeric(f) {
+				lo := rng.Intn(500)
+				conds = append(conds, fmt.Sprintf("%s BETWEEN %d AND %d", fillerName(f), lo, lo+100))
+			} else {
+				conds = append(conds, fmt.Sprintf("%s = 'opt%d'", fillerName(f), rng.Intn(8)))
+			}
+		}
+	}
+	if len(conds) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s", TableName, strings.Join(conds, " AND "))
+}
+
+// pickHoods samples k distinct neighborhood indexes with popularity skew:
+// earlier-listed neighborhoods (the prominent ones) are requested roughly
+// harmonically more often, mirroring real hood-demand skew. The result is
+// sorted ascending so the emitted SQL is deterministic per draw.
+func pickHoods(rng *rand.Rand, n, k int) []int {
+	picked := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		// Inverse-CDF of a harmonic-ish weight: squaring the uniform draw
+		// biases toward low indexes.
+		u := rng.Float64()
+		idx := int(u * u * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		if picked[idx] {
+			// Fall back to the next free slot to guarantee progress.
+			for j := 0; j < n; j++ {
+				cand := (idx + j) % n
+				if !picked[cand] {
+					idx = cand
+					break
+				}
+			}
+		}
+		picked[idx] = true
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// priceBand returns a buyer's price range around a region's base price, with
+// endpoints snapped to the PriceGrid (mostly) or to 5000 (sometimes) — the
+// round-number habit that concentrates splitpoint goodness.
+func priceBand(rng *rand.Rand, base float64) (lo, hi float64) {
+	center := base * (0.6 + rng.Float64()*0.9)
+	width := base * (0.15 + rng.Float64()*0.5)
+	grid := float64(PriceGrid)
+	switch r := rng.Float64(); {
+	case r < 0.35:
+		grid = 5000
+	case r < 0.50:
+		grid = 10000
+	}
+	lo = math.Max(grid, math.Round((center-width/2)/grid)*grid)
+	hi = math.Max(lo+grid, math.Round((center+width/2)/grid)*grid)
+	return lo, hi
+}
+
+// Broaden derives the user query Qw from a synthetic exploration W per §6.2:
+// the neighborhood IN-list is expanded to every neighborhood in W's region
+// and all other selection conditions are dropped. It reports false when W
+// carries no neighborhood condition (such W are skipped as study
+// explorations, since the broadening strategy is region-based).
+func Broaden(w *sqlparse.Query) (*sqlparse.Query, bool) {
+	cond := w.Cond(AttrNeighborhood)
+	if cond == nil || cond.IsRange || len(cond.Values) == 0 {
+		return nil, false
+	}
+	reg, ok := RegionOf(cond.Values[0])
+	if !ok {
+		return nil, false
+	}
+	q := &sqlparse.Query{Table: w.Table}
+	q.SetCond(&sqlparse.Condition{
+		Attr:   AttrNeighborhood,
+		Values: append([]string(nil), reg.Neighborhoods...),
+	})
+	return q, true
+}
+
+// Narrow derives a simulated subject's private interest from a study task:
+// a random subset of the task's neighborhoods, a tighter price band, and a
+// bedroom preference. The result always implies the task query, so every
+// tuple the subject deems relevant lies in the task's result set.
+func Narrow(task *sqlparse.Query, rng *rand.Rand) *sqlparse.Query {
+	q := task.Clone()
+	if c := q.Cond(AttrNeighborhood); c != nil && !c.IsRange && len(c.Values) > 1 {
+		k := 1 + rng.Intn(minInt(3, len(c.Values)))
+		perm := rng.Perm(len(c.Values))[:k]
+		sort.Ints(perm)
+		vals := make([]string, k)
+		for i, p := range perm {
+			vals[i] = c.Values[p]
+		}
+		q.SetCond(&sqlparse.Condition{Attr: AttrNeighborhood, Values: vals})
+	}
+	if c := q.Cond(AttrPrice); c != nil && c.IsRange && c.LoSet && c.HiSet && c.Hi-c.Lo > 2*PriceGrid {
+		span := c.Hi - c.Lo
+		lo := c.Lo + math.Floor(rng.Float64()*span/2/PriceGrid)*PriceGrid
+		hi := lo + math.Max(PriceGrid, math.Floor(span/2/PriceGrid)*PriceGrid)
+		if hi > c.Hi {
+			hi = c.Hi
+		}
+		q.SetCond(&sqlparse.Condition{Attr: AttrPrice, IsRange: true, Lo: lo, LoSet: true, Hi: hi, HiSet: true})
+	}
+	if q.Cond(AttrBedrooms) == nil && rng.Float64() < 0.6 {
+		lo := 2 + rng.Intn(3)
+		q.SetCond(&sqlparse.Condition{Attr: AttrBedrooms, IsRange: true,
+			Lo: float64(lo), LoSet: true, Hi: float64(lo + 1), HiSet: true})
+	}
+	return q
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tasks returns the four §6.3 real-life study tasks, phrased over the
+// synthetic regions. Price bounds are scaled to the synthetic price levels
+// but keep the paper's shape (an upper bound, a band, a band plus bedrooms).
+func Tasks() []*sqlparse.Query {
+	regions := Regions()
+	seattle := regions[0]
+	bay := regions[1]
+	nyc := regions[2]
+	mk := func(hoods []string, conds ...*sqlparse.Condition) *sqlparse.Query {
+		q := &sqlparse.Query{Table: TableName}
+		q.SetCond(&sqlparse.Condition{Attr: AttrNeighborhood, Values: append([]string(nil), hoods...)})
+		for _, c := range conds {
+			q.SetCond(c)
+		}
+		return q
+	}
+	price := func(lo, hi float64) *sqlparse.Condition {
+		c := &sqlparse.Condition{Attr: AttrPrice, IsRange: true}
+		if lo > 0 {
+			c.Lo, c.LoSet = lo, true
+		}
+		if hi > 0 {
+			c.Hi, c.HiSet = hi, true
+		}
+		return c
+	}
+	return []*sqlparse.Query{
+		// Task 1: any Seattle/Bellevue neighborhood, price < 1M.
+		mk(seattle.Neighborhoods, price(0, 1000000)),
+		// Task 2: Bay Area, price between 300K and 500K.
+		mk(bay.Neighborhoods, price(300000, 500000)),
+		// Task 3: 15 selected NYC neighborhoods, price < 1M.
+		mk(nyc.Neighborhoods[:15], price(0, 1000000)),
+		// Task 4: Seattle/Bellevue, price 200K-400K, 3-4 bedrooms.
+		mk(seattle.Neighborhoods, price(200000, 400000),
+			&sqlparse.Condition{Attr: AttrBedrooms, IsRange: true, Lo: 3, LoSet: true, Hi: 4, HiSet: true}),
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/datagen"
+	"repro/internal/explore"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CorrelationAblation compares the paper's independence assumption with the
+// §5.2 correlation refinement on one cross-validation split: the same
+// held-out explorations are replayed over trees whose probabilities (and
+// therefore structure) come from either model.
+type CorrelationAblation struct {
+	N int
+	// IndepR / CondR correlate estimated with actual cost under each model.
+	IndepR, CondR float64
+	// IndepFrac / CondFrac are the average fractions of the result set
+	// examined.
+	IndepFrac, CondFrac float64
+	// IndepEst / CondEst are the average estimated costs (the conditional
+	// model usually predicts cheaper exploration when correlations exist).
+	IndepEst, CondEst float64
+	// IndepOne / CondOne are the average ONE-scenario actual costs; the
+	// conditional model's category ordering (by path-conditional P) reaches
+	// the first relevant tuple sooner when attributes correlate.
+	IndepOne, CondOne float64
+}
+
+// AblationCorrelation holds out the first n broadenable workload queries,
+// builds both independent and conditional trees on the remaining workload,
+// and measures estimate quality and exploration cost for both.
+func AblationCorrelation(env *Env, n int) (*CorrelationAblation, error) {
+	cfg := env.Cfg
+	held := map[int]bool{}
+	count := 0
+	for i, q := range env.W.Queries {
+		if _, ok := datagen.Broaden(q); ok {
+			held[i] = true
+			count++
+			if count == n {
+				break
+			}
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("experiments: no broadenable queries for correlation ablation")
+	}
+	remaining, _ := env.W.Split(func(i int) bool { return !held[i] })
+	wcfg := workload.Config{Table: datagen.TableName, Intervals: datagen.Intervals()}
+	st := workload.Preprocess(remaining, wcfg)
+	idx := workload.NewCondIndex(remaining, wcfg)
+
+	opts := category.Options{M: cfg.M, K: cfg.K, X: cfg.X}
+	indepCat := category.NewCategorizer(st, opts)
+	condCat := category.NewCategorizer(st, opts)
+	condCat.Corr = idx
+
+	type pair struct{ est, act, frac, one float64 }
+	var indep, cond []pair
+	explorer := &explore.Explorer{K: cfg.K}
+	treeCache := map[string][2]*category.Tree{}
+	rowsCache := map[string][]int{}
+	for qi := range env.W.Queries {
+		if !held[qi] {
+			continue
+		}
+		w := env.W.Queries[qi]
+		qw, _ := datagen.Broaden(w)
+		region, _ := datagen.RegionOf(qw.Cond(datagen.AttrNeighborhood).Values[0])
+		rows, ok := rowsCache[region.Name]
+		if !ok {
+			rows = env.R.Select(qw.Predicate())
+			rowsCache[region.Name] = rows
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		trees, ok := treeCache[region.Name]
+		if !ok {
+			ti, err := indepCat.CategorizeRows(env.R, qw, rows)
+			if err != nil {
+				return nil, err
+			}
+			tc, err := condCat.CategorizeRows(env.R, qw, rows)
+			if err != nil {
+				return nil, err
+			}
+			trees = [2]*category.Tree{ti, tc}
+			treeCache[region.Name] = trees
+		}
+		in := &explore.Intent{Query: w}
+		for k, tree := range trees {
+			act := explorer.All(tree, in).Cost(cfg.K)
+			one := explorer.One(tree, in).Cost(cfg.K)
+			p := pair{est: category.TreeCostAll(tree), act: act, frac: act / float64(len(rows)), one: one}
+			if k == 0 {
+				indep = append(indep, p)
+			} else {
+				cond = append(cond, p)
+			}
+		}
+	}
+	out := &CorrelationAblation{N: len(indep)}
+	fill := func(pairs []pair, r, frac, est, one *float64) {
+		var es, as, fs, os []float64
+		for _, p := range pairs {
+			es = append(es, p.est)
+			as = append(as, p.act)
+			fs = append(fs, p.frac)
+			os = append(os, p.one)
+		}
+		if v, ok := stats.Correlate(es, as); ok {
+			*r = v
+		}
+		*frac = stats.Mean(fs)
+		*est = stats.Mean(es)
+		*one = stats.Mean(os)
+	}
+	fill(indep, &out.IndepR, &out.IndepFrac, &out.IndepEst, &out.IndepOne)
+	fill(cond, &out.CondR, &out.CondFrac, &out.CondEst, &out.CondOne)
+	return out, nil
+}

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/category"
+)
+
+// testEnv is a small shared environment; building it once keeps the package
+// tests fast.
+var testEnvCache *Env
+
+func testEnv(t testing.TB) *Env {
+	t.Helper()
+	if testEnvCache == nil {
+		env, err := NewEnv(Config{Rows: 8000, Queries: 4000, Subsets: 3, PerSubset: 20, Seed: 1})
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		testEnvCache = env
+	}
+	return testEnvCache
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Rows != 20000 || cfg.Queries != 10000 || cfg.M != 20 || cfg.K != 1 ||
+		cfg.X != 0.4 || cfg.Subsets != 8 || cfg.PerSubset != 100 || cfg.Subjects != 11 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestEnvShape(t *testing.T) {
+	env := testEnv(t)
+	if env.R.Len() != 8000 {
+		t.Errorf("rows = %d", env.R.Len())
+	}
+	if env.W.Len() != 4000 {
+		t.Errorf("queries = %d", env.W.Len())
+	}
+	if got := len(env.FullStats.Retained(0.4)); got != 6 {
+		t.Errorf("retained attributes = %d; want the paper's 6", got)
+	}
+}
+
+func TestSyntheticStudyShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := SyntheticStudy(env)
+	if err != nil {
+		t.Fatalf("SyntheticStudy: %v", err)
+	}
+	if len(res.Subsets) != env.Cfg.Subsets {
+		t.Fatalf("subsets = %d; want %d", len(res.Subsets), env.Cfg.Subsets)
+	}
+	total := 0
+	for _, s := range res.Subsets {
+		total += s.N
+		if s.N == 0 {
+			t.Errorf("subset %d has no explorations", s.Index)
+		}
+	}
+	if total != len(res.Explorations) {
+		t.Fatalf("exploration count mismatch: %d vs %d", total, len(res.Explorations))
+	}
+
+	// Figure 7 / Table 1 shape: strong positive overall correlation and a
+	// trend slope in a sane band.
+	if res.OverallR < 0.3 {
+		t.Errorf("overall Pearson r = %.3f; want strong positive correlation", res.OverallR)
+	}
+	if res.Slope <= 0.2 || res.Slope >= 3 {
+		t.Errorf("trend slope = %.3f; want positive and near 1", res.Slope)
+	}
+
+	// Figure 8 shape: cost-based beats No-cost by a clear factor in every
+	// subset; all fractions are in (0, 1+ε].
+	for _, s := range res.Subsets {
+		cb := s.FracCost[category.CostBased]
+		nc := s.FracCost[category.NoCost]
+		if cb <= 0 || nc <= 0 {
+			t.Errorf("subset %d: non-positive fractional cost cb=%v nc=%v", s.Index, cb, nc)
+		}
+		if nc < 1.5*cb {
+			t.Errorf("subset %d: No-cost (%.3f) not clearly worse than cost-based (%.3f)", s.Index, nc, cb)
+		}
+	}
+
+	// Every exploration must carry all three techniques and positive costs.
+	for i, e := range res.Explorations {
+		for _, tech := range Techniques() {
+			if e.Estimated[tech] <= 0 || e.Actual[tech] <= 0 {
+				t.Fatalf("exploration %d: non-positive cost for %v", i, tech)
+			}
+			// Actual exploration cannot examine more items than the result
+			// set plus all labels; bound loosely by 3x result size.
+			if e.Actual[tech] > 3*float64(e.ResultLen)+1000 {
+				t.Fatalf("exploration %d: actual %v cost %.0f implausible for %d tuples",
+					i, tech, e.Actual[tech], e.ResultLen)
+			}
+		}
+	}
+}
+
+func TestSyntheticStudyDeterministic(t *testing.T) {
+	env := testEnv(t)
+	a, err := SyntheticStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticStudy(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OverallR != b.OverallR || a.Slope != b.Slope {
+		t.Fatalf("synthetic study not deterministic: (%v,%v) vs (%v,%v)",
+			a.OverallR, a.Slope, b.OverallR, b.Slope)
+	}
+}
+
+func TestSyntheticStudyNeedsEnoughQueries(t *testing.T) {
+	env, err := NewEnv(Config{Rows: 2000, Queries: 50, Subsets: 8, PerSubset: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyntheticStudy(env); err == nil {
+		t.Fatal("expected error with too few broadenable queries")
+	}
+}
+
+func TestAssignStudyConstraints(t *testing.T) {
+	schedule, err := AssignStudy(11, 4, 3, 3)
+	if err != nil {
+		t.Fatalf("AssignStudy: %v", err)
+	}
+	if len(schedule) != 36 {
+		t.Fatalf("schedule has %d slots; want 36", len(schedule))
+	}
+	perSubjectTask := map[[2]int]int{}
+	comboCount := map[int]int{}
+	subjTechs := map[int]map[int]int{}
+	for _, pair := range schedule {
+		subject, combo := pair[0], pair[1]
+		task, tech := combo/3, combo%3
+		perSubjectTask[[2]int{subject, task}]++
+		comboCount[combo]++
+		if subjTechs[subject] == nil {
+			subjTechs[subject] = map[int]int{}
+		}
+		subjTechs[subject][tech]++
+	}
+	for key, n := range perSubjectTask {
+		if n > 1 {
+			t.Errorf("subject %d performs task %d %d times", key[0], key[1], n)
+		}
+	}
+	for combo := 0; combo < 12; combo++ {
+		if comboCount[combo] < 2 {
+			t.Errorf("combo %d performed by %d subjects; want ≥ 2", combo, comboCount[combo])
+		}
+	}
+	for subject, techs := range subjTechs {
+		if len(techs) < 2 {
+			t.Errorf("subject %d saw only %d technique(s); want variety", subject, len(techs))
+		}
+	}
+}
+
+func TestAssignStudyInfeasible(t *testing.T) {
+	// 1 subject cannot host 4 tasks × 3 techniques once each.
+	if _, err := AssignStudy(1, 4, 3, 3); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestRealLifeStudyShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RealLifeStudy(env)
+	if err != nil {
+		t.Fatalf("RealLifeStudy: %v", err)
+	}
+	if len(res.PerUser) != env.Cfg.Subjects {
+		t.Fatalf("per-user rows = %d; want %d", len(res.PerUser), env.Cfg.Subjects)
+	}
+	if len(res.ResultSizes) != 4 {
+		t.Fatalf("result sizes = %v; want 4 tasks", res.ResultSizes)
+	}
+	// Table 2 shape: average correlation clearly positive.
+	if res.AvgUserR < 0.3 {
+		t.Errorf("average user correlation %.3f; want positive (paper: 0.67)", res.AvgUserR)
+	}
+	// Figures 9-12 shape: every cell filled for every task × technique.
+	for ti := 0; ti < 4; ti++ {
+		for _, tech := range Techniques() {
+			key := CellKey{ti, tech}
+			if res.CostAll[key] <= 0 {
+				t.Errorf("Figure 9 cell %v empty", key)
+			}
+			if res.CostOne[key] <= 0 {
+				t.Errorf("Figure 12 cell %v empty", key)
+			}
+		}
+	}
+	// Table 3 shape: cost-based normalized cost is orders of magnitude below
+	// the result size.
+	for _, row := range Table3(res) {
+		if math.IsInf(row.CostBasedNormCost, 1) {
+			t.Errorf("task %d: no relevant tuples found at all", row.Task)
+			continue
+		}
+		if row.CostBasedNormCost*5 > float64(row.NoCategorization) {
+			t.Errorf("task %d: normalized cost %.1f not ≪ result size %d",
+				row.Task, row.CostBasedNormCost, row.NoCategorization)
+		}
+	}
+	// Table 4 shape: every subject either votes or abstains; cost-based is
+	// the plurality winner.
+	votes := 0
+	for _, n := range res.Votes {
+		votes += n
+	}
+	if votes+res.NoResponse != env.Cfg.Subjects {
+		t.Errorf("votes %d + no-response %d != subjects %d", votes, res.NoResponse, env.Cfg.Subjects)
+	}
+	best, bestN := category.Technique(-1), -1
+	for tech, n := range res.Votes {
+		if n > bestN {
+			best, bestN = tech, n
+		}
+	}
+	if best != category.CostBased {
+		t.Errorf("vote winner = %v (%d votes; full map %v); want Cost-based", best, bestN, res.Votes)
+	}
+}
+
+func TestRealLifeStudyDeterministic(t *testing.T) {
+	env := testEnv(t)
+	a, _ := RealLifeStudy(env)
+	b, _ := RealLifeStudy(env)
+	if a.AvgUserR != b.AvgUserR || len(a.Assignments) != len(b.Assignments) {
+		t.Fatal("study not deterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignment %d differs: %+v vs %+v", i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+}
+
+func TestExecutionTime(t *testing.T) {
+	env := testEnv(t)
+	res, err := ExecutionTime(env, []int{10, 50}, 6)
+	if err != nil {
+		t.Fatalf("ExecutionTime: %v", err)
+	}
+	if len(res.Points) != 2 || res.QueriesTimed == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.AvgSeconds < 0 || p.AvgNodes <= 0 {
+			t.Errorf("point %+v malformed", p)
+		}
+	}
+	// Smaller M means more nodes.
+	if res.Points[0].AvgNodes <= res.Points[1].AvgNodes {
+		t.Errorf("M=10 nodes (%.0f) should exceed M=50 nodes (%.0f)",
+			res.Points[0].AvgNodes, res.Points[1].AvgNodes)
+	}
+	if res.AvgResultSize <= 0 {
+		t.Error("average result size missing")
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	env := testEnv(t)
+	res, err := AblationOrdering(env, 5)
+	if err != nil {
+		t.Fatalf("AblationOrdering: %v", err)
+	}
+	if res.Trees == 0 {
+		t.Fatal("no trees sampled")
+	}
+	// Optimal must be the cheapest; the construction heuristic must be at
+	// least as good as the reversed order.
+	if res.Optimal > res.Heuristic+1e-9 {
+		t.Errorf("optimal (%.2f) worse than heuristic (%.2f)", res.Optimal, res.Heuristic)
+	}
+	if res.Heuristic > res.Reversed+1e-9 {
+		t.Errorf("heuristic (%.2f) worse than reversed (%.2f)", res.Heuristic, res.Reversed)
+	}
+	if s := res.OrderingGapSummary(); s == "" {
+		t.Error("empty gap summary")
+	}
+}
+
+func TestAblationSplitpoints(t *testing.T) {
+	env := testEnv(t)
+	res, err := AblationSplitpoints(env, 5)
+	if err != nil {
+		t.Fatalf("AblationSplitpoints: %v", err)
+	}
+	if res.Trees == 0 {
+		t.Fatal("no trees sampled")
+	}
+	if res.GoodnessCost > res.EquiWidth+1e-6 {
+		t.Errorf("goodness partitions (%.1f) cost more than equi-width (%.1f)",
+			res.GoodnessCost, res.EquiWidth)
+	}
+}
+
+func TestAblationX(t *testing.T) {
+	env := testEnv(t)
+	points, err := AblationX(env, []float64{0.1, 0.4, 0.7}, 4)
+	if err != nil {
+		t.Fatalf("AblationX: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Candidate count must be non-increasing in x.
+	for i := 1; i < len(points); i++ {
+		if points[i].Candidates > points[i-1].Candidates {
+			t.Errorf("candidates rose with x: %+v", points)
+		}
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	env := testEnv(t)
+	points, err := AblationK(env, []float64{0.5, 2}, 4)
+	if err != nil {
+		t.Fatalf("AblationK: %v", err)
+	}
+	for _, p := range points {
+		if p.AvgCost <= 0 || p.Level1Attr == "" {
+			t.Errorf("malformed K point %+v", p)
+		}
+	}
+}
+
+func TestTechniquesOrder(t *testing.T) {
+	techs := Techniques()
+	if len(techs) != 3 || techs[0] != category.CostBased || techs[2] != category.NoCost {
+		t.Fatalf("Techniques() = %v", techs)
+	}
+}
+
+func TestAblationCorrelation(t *testing.T) {
+	env := testEnv(t)
+	res, err := AblationCorrelation(env, 40)
+	if err != nil {
+		t.Fatalf("AblationCorrelation: %v", err)
+	}
+	if res.N == 0 {
+		t.Fatal("no explorations measured")
+	}
+	if res.IndepEst <= 0 || res.CondEst <= 0 || res.IndepFrac <= 0 || res.CondFrac <= 0 {
+		t.Fatalf("malformed result %+v", res)
+	}
+	// The conditional model conditions on real workload structure; its
+	// estimate should not be wildly above the independent one.
+	if res.CondEst > 2*res.IndepEst {
+		t.Errorf("conditional estimate %v implausibly above independent %v", res.CondEst, res.IndepEst)
+	}
+	t.Logf("correlation ablation: indep r=%.3f frac=%.3f est=%.1f | cond r=%.3f frac=%.3f est=%.1f",
+		res.IndepR, res.IndepFrac, res.IndepEst, res.CondR, res.CondFrac, res.CondEst)
+}
+
+func TestAblationRanking(t *testing.T) {
+	env := testEnv(t)
+	res, err := AblationRanking(env, 60)
+	if err != nil {
+		t.Fatalf("AblationRanking: %v", err)
+	}
+	if res.N == 0 || res.Found == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.Flat <= 0 || res.Tree <= 0 {
+		t.Fatalf("non-positive costs %+v", res)
+	}
+	// Categorization must beat the unranked flat scan on average.
+	if res.Tree > res.Flat {
+		t.Errorf("tree ONE cost %.1f exceeds flat %.1f", res.Tree, res.Flat)
+	}
+	t.Logf("ranking ablation: flat=%.1f flat+rank=%.1f tree=%.1f tree+rank=%.1f (n=%d)",
+		res.Flat, res.FlatRanked, res.Tree, res.TreeRanked, res.N)
+}
+
+func TestAblationGreedyOptimal(t *testing.T) {
+	env := testEnv(t)
+	res, err := AblationGreedyOptimal(env, 3, 120)
+	if err != nil {
+		t.Fatalf("AblationGreedyOptimal: %v", err)
+	}
+	if res.Instances == 0 || res.TreesTried == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.AvgRatio < 0.99 {
+		t.Errorf("greedy beat the bounded optimum on average (%.3f): enumeration space too small", res.AvgRatio)
+	}
+	if res.WorstRatio > 2.0 {
+		t.Errorf("greedy up to %.2fx worse than optimal; should be near 1", res.WorstRatio)
+	}
+	t.Logf("greedy/optimal: avg %.3f worst %.3f over %d instances (%d trees)",
+		res.AvgRatio, res.WorstRatio, res.Instances, res.TreesTried)
+}

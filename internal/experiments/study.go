@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/category"
+	"repro/internal/datagen"
+	"repro/internal/explore"
+	"repro/internal/stats"
+)
+
+// Assignment is one subject × task × technique exploration of the §6.3
+// study, with its measurements.
+type Assignment struct {
+	Subject   int
+	Task      int // 0-based
+	Technique category.Technique
+
+	Estimated     float64 // CostAll(T), the analytical prediction
+	ActualAll     float64 // items examined until all relevant tuples found
+	ActualOne     float64 // items examined until the first relevant tuple
+	RelevantFound int
+	RelevantTotal int
+	Normalized    float64 // items per relevant tuple (Inf when none found)
+}
+
+// UserCorrelation is one Table 2 row.
+type UserCorrelation struct {
+	Subject int
+	R       float64
+	OK      bool // false when the subject's sample was degenerate
+	N       int
+}
+
+// CellKey addresses a task × technique aggregate.
+type CellKey struct {
+	Task      int
+	Technique category.Technique
+}
+
+// StudyResult is the full §6.3 output.
+type StudyResult struct {
+	Assignments []Assignment
+	// PerUser is Table 2: estimated-vs-actual correlation per subject.
+	PerUser []UserCorrelation
+	// AvgUserR is Table 2's "average" row (over subjects with defined r).
+	AvgUserR float64
+	// CostAll / Relevant / Normalized / CostOne are Figures 9-12: averages
+	// per task × technique.
+	CostAll    map[CellKey]float64
+	Relevant   map[CellKey]float64
+	Normalized map[CellKey]float64
+	CostOne    map[CellKey]float64
+	// ResultSizes is |Result(task)| per task — the "No categorization" cost
+	// of Table 3.
+	ResultSizes []int
+	// Votes is Table 4: which technique each responding subject called best.
+	Votes map[category.Technique]int
+	// NoResponse counts subjects without a defined preference.
+	NoResponse int
+}
+
+// subjectNoise returns one subject's behavioural imperfection. Subjects
+// differ: most are careful (small noise), a couple are sloppy — the paper's
+// panel likewise contained one subject (U9) whose behaviour did not track
+// the model at all.
+func subjectNoise(subject int) (explore, ignore, showcat, fatigue float64) {
+	switch subject % 5 {
+	case 0:
+		return 0.01, 0.02, 0.02, 0.5
+	case 1:
+		return 0.03, 0.05, 0.05, 0.9
+	case 2:
+		return 0.02, 0.03, 0.08, 0.7
+	case 3:
+		return 0.05, 0.10, 0.10, 1.4
+	default:
+		return 0.12, 0.20, 0.22, 2.2 // the sloppy subject
+	}
+}
+
+// AssignStudy builds the task-technique schedule under the paper's
+// constraints: no subject performs a task more than once, the techniques a
+// subject sees are varied, and every task × technique combination is
+// performed by at least minPer subjects. Each returned pair is (subject,
+// task*techniques+tech).
+func AssignStudy(subjects, tasks, techniques, minPer int) ([][2]int, error) {
+	type slot struct{ task, tech int }
+	var slots []slot
+	for rep := 0; rep < minPer; rep++ {
+		for task := 0; task < tasks; task++ {
+			for tech := 0; tech < techniques; tech++ {
+				slots = append(slots, slot{task, tech})
+			}
+		}
+	}
+	doneTask := make([]map[int]bool, subjects)
+	techCount := make([]map[int]int, subjects)
+	load := make([]int, subjects)
+	for i := range doneTask {
+		doneTask[i] = map[int]bool{}
+		techCount[i] = map[int]int{}
+	}
+	schedule := make([][3]int, 0, len(slots))
+	for si, sl := range slots {
+		placed := false
+		// Prefer: hasn't done the task, balanced technique exposure, light load.
+		for pass := 0; pass < 2 && !placed; pass++ {
+			bestSubj, bestScore := -1, math.MaxInt32
+			for s := 0; s < subjects; s++ {
+				u := (si + s) % subjects
+				if doneTask[u][sl.task] || load[u] >= tasks {
+					continue
+				}
+				score := load[u]*10 + techCount[u][sl.tech]*100
+				if pass == 0 && techCount[u][sl.tech] > 0 {
+					continue // first pass: strict technique variety
+				}
+				if score < bestScore {
+					bestScore, bestSubj = score, u
+				}
+			}
+			if bestSubj >= 0 {
+				doneTask[bestSubj][sl.task] = true
+				techCount[bestSubj][sl.tech]++
+				load[bestSubj]++
+				schedule = append(schedule, [3]int{bestSubj, sl.task, sl.tech})
+				placed = true
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("experiments: cannot place task %d technique %d (subjects exhausted)", sl.task, sl.tech)
+		}
+	}
+	result := make([][2]int, len(schedule))
+	for i, row := range schedule {
+		result[i] = [2]int{row[0], row[1]*techniques + row[2]}
+	}
+	return result, nil
+}
+
+// RealLifeStudy runs the simulated §6.3 panel: Subjects noisy users over the
+// four tasks and three techniques.
+func RealLifeStudy(env *Env) (*StudyResult, error) {
+	cfg := env.Cfg
+	tasks := datagen.Tasks()
+	techniques := Techniques()
+
+	schedule, err := AssignStudy(cfg.Subjects, len(tasks), len(techniques), 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the 12 trees once (full workload stats: the tasks are not
+	// workload queries).
+	trees := map[CellKey]*category.Tree{}
+	taskRows := make([][]int, len(tasks))
+	for ti, task := range tasks {
+		taskRows[ti] = env.R.Select(task.Predicate())
+		for _, tech := range techniques {
+			tree, err := buildTree(env.FullStats, env, tech, task, taskRows[ti])
+			if err != nil {
+				return nil, err
+			}
+			trees[CellKey{ti, tech}] = tree
+		}
+	}
+
+	out := &StudyResult{
+		CostAll:    map[CellKey]float64{},
+		Relevant:   map[CellKey]float64{},
+		Normalized: map[CellKey]float64{},
+		CostOne:    map[CellKey]float64{},
+		Votes:      map[category.Technique]int{},
+	}
+	for _, rows := range taskRows {
+		out.ResultSizes = append(out.ResultSizes, len(rows))
+	}
+
+	explorer := &explore.Explorer{K: cfg.K}
+	counts := map[CellKey]int{}
+	for _, pair := range schedule {
+		subject := pair[0]
+		task := pair[1] / len(techniques)
+		tech := techniques[pair[1]%len(techniques)]
+		tree := trees[CellKey{task, tech}]
+
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(subject)*131 + int64(task)*17))
+		interest := datagen.Narrow(tasks[task], rng)
+		eNoise, iNoise, sNoise, fatigue := subjectNoise(subject)
+		intent := &explore.Intent{
+			Query: interest, Rng: rng,
+			ExploreNoise: eNoise, IgnoreNoise: iNoise, ShowCatNoise: sNoise,
+			ScanFatigue: fatigue,
+		}
+		allOut := explorer.All(tree, intent)
+		// A fresh rng stream for the ONE pass keeps it independent but
+		// reproducible.
+		intent.Rng = rand.New(rand.NewSource(cfg.Seed*104729 + int64(subject)*131 + int64(task)*17))
+		oneOut := explorer.One(tree, intent)
+
+		a := Assignment{
+			Subject: subject, Task: task, Technique: tech,
+			Estimated:     category.TreeCostAll(tree),
+			ActualAll:     allOut.Cost(cfg.K),
+			ActualOne:     oneOut.Cost(cfg.K),
+			RelevantFound: allOut.RelevantFound,
+			RelevantTotal: allOut.RelevantTotal,
+			Normalized:    allOut.NormalizedCost(cfg.K),
+		}
+		out.Assignments = append(out.Assignments, a)
+		key := CellKey{task, tech}
+		counts[key]++
+		out.CostAll[key] += a.ActualAll
+		out.Relevant[key] += float64(a.RelevantFound)
+		if !math.IsInf(a.Normalized, 1) {
+			out.Normalized[key] += a.Normalized
+		}
+		out.CostOne[key] += a.ActualOne
+	}
+	for key, n := range counts {
+		f := float64(n)
+		out.CostAll[key] /= f
+		out.Relevant[key] /= f
+		out.Normalized[key] /= f
+		out.CostOne[key] /= f
+	}
+
+	// Table 2: per-subject correlation between estimated and actual cost.
+	var rs []float64
+	for u := 0; u < cfg.Subjects; u++ {
+		var est, act []float64
+		for _, a := range out.Assignments {
+			if a.Subject == u {
+				est = append(est, a.Estimated)
+				act = append(act, a.ActualAll)
+			}
+		}
+		r, ok := stats.Correlate(est, act)
+		out.PerUser = append(out.PerUser, UserCorrelation{Subject: u, R: r, OK: ok, N: len(est)})
+		if ok {
+			rs = append(rs, r)
+		}
+	}
+	out.AvgUserR = stats.Mean(rs)
+
+	// Table 4: each subject votes for the technique that worked best for
+	// them. Because a subject sees each technique on a different task, the
+	// comparison is task-difficulty adjusted: an exploration's normalized
+	// cost is divided by its task's mean normalized cost before averaging.
+	taskMean := map[int]float64{}
+	taskN := map[int]int{}
+	for _, a := range out.Assignments {
+		if !math.IsInf(a.Normalized, 1) {
+			taskMean[a.Task] += a.Normalized
+			taskN[a.Task]++
+		}
+	}
+	for task, n := range taskN {
+		taskMean[task] /= float64(n)
+	}
+	for u := 0; u < cfg.Subjects; u++ {
+		sums := map[category.Technique]float64{}
+		ns := map[category.Technique]int{}
+		for _, a := range out.Assignments {
+			if a.Subject != u || math.IsInf(a.Normalized, 1) || taskMean[a.Task] == 0 {
+				continue
+			}
+			sums[a.Technique] += a.Normalized / taskMean[a.Task]
+			ns[a.Technique]++
+		}
+		best, bestVal := category.Technique(-1), math.Inf(1)
+		for tech, sum := range sums {
+			avg := sum / float64(ns[tech])
+			if avg < bestVal {
+				best, bestVal = tech, avg
+			}
+		}
+		if best < 0 || len(ns) < 2 {
+			out.NoResponse++
+			continue
+		}
+		out.Votes[best]++
+	}
+	return out, nil
+}
+
+// Table3Row compares the cost-based technique against no categorization for
+// one task: the paper reports normalized cost ≈5-10 items per relevant tuple
+// versus the full result-set size.
+type Table3Row struct {
+	Task              int
+	CostBasedNormCost float64
+	NoCategorization  int // |Result(task)|
+}
+
+// Table3 derives the Table 3 rows from a study result.
+func Table3(res *StudyResult) []Table3Row {
+	rows := make([]Table3Row, 0, len(res.ResultSizes))
+	for ti, size := range res.ResultSizes {
+		rows = append(rows, Table3Row{
+			Task:              ti + 1,
+			CostBasedNormCost: res.Normalized[CellKey{ti, category.CostBased}],
+			NoCategorization:  size,
+		})
+	}
+	return rows
+}

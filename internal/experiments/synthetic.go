@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/datagen"
+	"repro/internal/explore"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Techniques lists the three §6 techniques in the paper's comparison order.
+func Techniques() []category.Technique {
+	return []category.Technique{category.CostBased, category.AttrCost, category.NoCost}
+}
+
+// Exploration is one synthetic exploration of §6.2: a held-out workload
+// query W replayed over the tree generated for its broadened user query Qw.
+type Exploration struct {
+	Subset    int
+	W         *sqlparse.Query
+	Region    string
+	ResultLen int
+	// Estimated and Actual cost per technique (ALL scenario).
+	Estimated map[category.Technique]float64
+	Actual    map[category.Technique]float64
+}
+
+// SubsetResult aggregates one cross-validation subset.
+type SubsetResult struct {
+	Index int
+	N     int
+	// PearsonR correlates estimated vs actual cost for the cost-based
+	// technique (Table 1).
+	PearsonR float64
+	// FracCost is AVG CostAll(W,T)/|Result(Qw)| per technique (Figure 8).
+	FracCost map[category.Technique]float64
+}
+
+// SyntheticResult is the full §6.2 study output.
+type SyntheticResult struct {
+	Subsets []SubsetResult
+	// Explorations holds every (W, costs) pair, subset by subset.
+	Explorations []Exploration
+	// Slope is the zero-intercept trend of actual on estimated cost for the
+	// cost-based technique (Figure 7's y = 1.1002x).
+	Slope float64
+	// OverallR is Pearson's r across all explorations (Table 1's "All").
+	OverallR float64
+}
+
+// EstActPairs returns the cost-based (estimated, actual) vectors.
+func (s *SyntheticResult) EstActPairs() (est, act []float64) {
+	for _, e := range s.Explorations {
+		est = append(est, e.Estimated[category.CostBased])
+		act = append(act, e.Actual[category.CostBased])
+	}
+	return est, act
+}
+
+// SyntheticStudy runs the large-scale simulated user study: it holds out
+// Subsets disjoint groups of PerSubset workload queries, rebuilds the count
+// tables on the remaining workload for each group, generates the category
+// tree for every broadened query under each technique, and replays the
+// original query as a deterministic exploration to measure actual cost.
+func SyntheticStudy(env *Env) (*SyntheticResult, error) {
+	cfg := env.Cfg
+	need := cfg.Subsets * cfg.PerSubset
+	candidates := make([]int, 0, need)
+	for i, q := range env.W.Queries {
+		if _, ok := datagen.Broaden(q); ok {
+			candidates = append(candidates, i)
+			if len(candidates) == need {
+				break
+			}
+		}
+	}
+	if len(candidates) < need {
+		return nil, fmt.Errorf("experiments: only %d broadenable workload queries, need %d", len(candidates), need)
+	}
+
+	out := &SyntheticResult{}
+	explorer := &explore.Explorer{K: cfg.K}
+	for si := 0; si < cfg.Subsets; si++ {
+		held := map[int]bool{}
+		for _, qi := range candidates[si*cfg.PerSubset : (si+1)*cfg.PerSubset] {
+			held[qi] = true
+		}
+		remaining, _ := env.W.Split(func(i int) bool { return !held[i] })
+		st := workload.Preprocess(remaining, workload.Config{
+			Table:     datagen.TableName,
+			Intervals: datagen.Intervals(),
+		})
+		// All W broadening to the same region share Qw, hence the tree;
+		// cache per region × technique.
+		type key struct {
+			region string
+			tech   category.Technique
+		}
+		treeCache := map[key]*category.Tree{}
+		rowsCache := map[string][]int{}
+
+		sub := SubsetResult{Index: si, FracCost: map[category.Technique]float64{}}
+		var est, act []float64
+		fracSum := map[category.Technique]float64{}
+		for qi := range env.W.Queries {
+			if !held[qi] {
+				continue
+			}
+			w := env.W.Queries[qi]
+			qw, _ := datagen.Broaden(w)
+			region, _ := datagen.RegionOf(qw.Cond(datagen.AttrNeighborhood).Values[0])
+			rows, ok := rowsCache[region.Name]
+			if !ok {
+				rows = env.R.Select(qw.Predicate())
+				rowsCache[region.Name] = rows
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			exp := Exploration{
+				Subset: si, W: w, Region: region.Name, ResultLen: len(rows),
+				Estimated: map[category.Technique]float64{},
+				Actual:    map[category.Technique]float64{},
+			}
+			for _, tech := range Techniques() {
+				tree, ok := treeCache[key{region.Name, tech}]
+				if !ok {
+					var err error
+					tree, err = buildTree(st, env, tech, qw, rows)
+					if err != nil {
+						return nil, err
+					}
+					treeCache[key{region.Name, tech}] = tree
+				}
+				exp.Estimated[tech] = category.TreeCostAll(tree)
+				outAll := explorer.All(tree, &explore.Intent{Query: w})
+				exp.Actual[tech] = outAll.Cost(cfg.K)
+				fracSum[tech] += exp.Actual[tech] / float64(len(rows))
+			}
+			est = append(est, exp.Estimated[category.CostBased])
+			act = append(act, exp.Actual[category.CostBased])
+			out.Explorations = append(out.Explorations, exp)
+			sub.N++
+		}
+		if r, ok := stats.Correlate(est, act); ok {
+			sub.PearsonR = r
+		}
+		for _, tech := range Techniques() {
+			if sub.N > 0 {
+				sub.FracCost[tech] = fracSum[tech] / float64(sub.N)
+			}
+		}
+		out.Subsets = append(out.Subsets, sub)
+	}
+	allEst, allAct := out.EstActPairs()
+	if r, ok := stats.Correlate(allEst, allAct); ok {
+		out.OverallR = r
+	}
+	if slope, err := stats.FitThroughOrigin(allEst, allAct); err == nil {
+		out.Slope = slope
+	}
+	return out, nil
+}
+
+// buildTree constructs and annotates the tree for one technique.
+func buildTree(st *workload.Stats, env *Env, tech category.Technique, q *sqlparse.Query, rows []int) (*category.Tree, error) {
+	opts := category.Options{M: env.Cfg.M, K: env.Cfg.K, X: env.Cfg.X}
+	var (
+		tree *category.Tree
+		err  error
+	)
+	if tech == category.CostBased {
+		tree, err = category.NewCategorizer(st, opts).CategorizeRows(env.R, q, rows)
+	} else {
+		// The baselines draw from the paper's predefined attribute set.
+		opts.CandidateAttrs = baselineAttrs()
+		b := &category.Baseline{Stats: st, Opts: opts, Kind: tech}
+		tree, err = b.CategorizeRows(env.R, q, rows)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v tree: %w", tech, err)
+	}
+	(&category.Estimator{Stats: st}).Annotate(tree)
+	return tree, nil
+}
+
+// baselineAttrs is §6.1's predefined candidate set: neighborhood,
+// property-type, bedroomcount, price, year-built and square-footage, in that
+// (arbitrary) order.
+func baselineAttrs() []string {
+	return []string{
+		datagen.AttrNeighborhood, datagen.AttrPropertyType, datagen.AttrBedrooms,
+		datagen.AttrPrice, datagen.AttrYearBuilt, datagen.AttrSqft,
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/category"
+	"repro/internal/datagen"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// TimingPoint is one Figure 13 bar: the average wall-clock of the cost-based
+// categorization algorithm for one value of M.
+type TimingPoint struct {
+	M          int
+	AvgSeconds float64
+	AvgNodes   float64
+}
+
+// TimingResult is the Figure 13 series.
+type TimingResult struct {
+	Points        []TimingPoint
+	QueriesTimed  int
+	AvgResultSize float64
+}
+
+// ExecutionTime measures the categorization algorithm over nQueries
+// broadened workload queries (the paper averages over 100 queries with
+// result sets around 2000 tuples) for each M in ms. Selection time is
+// excluded: the paper times categorization, not query execution.
+func ExecutionTime(env *Env, ms []int, nQueries int) (*TimingResult, error) {
+	var (
+		rowsList [][]int
+		qwList   []*sqlparse.Query
+		sizes    []float64
+	)
+	for _, w := range env.W.Queries {
+		qw, ok := datagen.Broaden(w)
+		if !ok {
+			continue
+		}
+		rows := env.R.Select(qw.Predicate())
+		if len(rows) == 0 {
+			continue
+		}
+		rowsList = append(rowsList, rows)
+		qwList = append(qwList, qw)
+		sizes = append(sizes, float64(len(rows)))
+		if len(rowsList) == nQueries {
+			break
+		}
+	}
+	if len(rowsList) == 0 {
+		return nil, fmt.Errorf("experiments: no broadenable queries for timing")
+	}
+
+	res := &TimingResult{QueriesTimed: len(rowsList), AvgResultSize: stats.Mean(sizes)}
+	for _, m := range ms {
+		cat := category.NewCategorizer(env.FullStats, category.Options{M: m, K: env.Cfg.K, X: env.Cfg.X})
+		var (
+			total time.Duration
+			nodes float64
+		)
+		for i := range rowsList {
+			start := time.Now()
+			tree, err := cat.CategorizeRows(env.R, qwList[i], rowsList[i])
+			total += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			nodes += float64(tree.NodeCount())
+		}
+		res.Points = append(res.Points, TimingPoint{
+			M:          m,
+			AvgSeconds: total.Seconds() / float64(len(rowsList)),
+			AvgNodes:   nodes / float64(len(rowsList)),
+		})
+	}
+	return res, nil
+}

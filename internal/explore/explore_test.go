@@ -1,0 +1,517 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/category"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// fixtureTree hand-builds the Figure 1 style tree over a tiny relation:
+// level 1 neighborhoods, level 2 price buckets under the first hood.
+//
+//	root ── Bellevue ── price [200k,250k)   (2 tuples, 1 relevant)
+//	│                └─ price [250k,300k]   (2 tuples)
+//	├─ Redmond  (3 tuples)
+//	└─ Seattle  (2 tuples)
+func fixtureTree(t *testing.T) *category.Tree {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "neighborhood", Type: relation.Categorical},
+		relation.Attribute{Name: "price", Type: relation.Numeric},
+	)
+	r := relation.New("ListProperty", schema)
+	rows := []struct {
+		n string
+		p float64
+	}{
+		{"Bellevue, WA", 210000}, // 0
+		{"Bellevue, WA", 240000}, // 1
+		{"Bellevue, WA", 260000}, // 2
+		{"Bellevue, WA", 290000}, // 3
+		{"Redmond, WA", 220000},  // 4
+		{"Redmond, WA", 250000},  // 5
+		{"Redmond, WA", 280000},  // 6
+		{"Seattle, WA", 230000},  // 7
+		{"Seattle, WA", 270000},  // 8
+	}
+	for _, row := range rows {
+		r.MustAppend(relation.Tuple{relation.StringValue(row.n), relation.NumberValue(row.p)})
+	}
+	lo := &category.Node{
+		Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 200000, Hi: 250000},
+		Tset:  []int{0, 1}, P: 0.5, Pw: 1,
+	}
+	hi := &category.Node{
+		Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 250000, Hi: 300000, HiInc: true},
+		Tset:  []int{2, 3}, P: 0.5, Pw: 1,
+	}
+	bellevue := &category.Node{
+		Label:    category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Bellevue, WA"},
+		Children: []*category.Node{lo, hi},
+		Tset:     []int{0, 1, 2, 3}, SubAttr: "price", P: 0.6, Pw: 0.4,
+	}
+	redmond := &category.Node{
+		Label: category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Redmond, WA"},
+		Tset:  []int{4, 5, 6}, P: 0.3, Pw: 1,
+	}
+	seattle := &category.Node{
+		Label: category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Seattle, WA"},
+		Tset:  []int{7, 8}, P: 0.1, Pw: 1,
+	}
+	root := &category.Node{
+		Label:    category.Label{Kind: category.LabelAll},
+		Children: []*category.Node{bellevue, redmond, seattle},
+		Tset:     []int{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		SubAttr:  "neighborhood", P: 1, Pw: 0.2,
+	}
+	tree := &category.Tree{Root: root, R: r, K: 1, LevelAttrs: []string{"neighborhood", "price"}}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return tree
+}
+
+func intentFor(sql string) *Intent {
+	return &Intent{Query: sqlparse.MustParse(sql)}
+}
+
+func TestAllScenarioDeterministic(t *testing.T) {
+	tree := fixtureTree(t)
+	// User wants Bellevue homes 200k-240k: explores root (SHOWCAT on
+	// neighborhood since condition present), reads 3 hood labels, explores
+	// Bellevue (SHOWCAT on price), reads 2 price labels, explores only the
+	// low bucket (SHOWTUPLES), reads its 2 tuples.
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 240000")
+	out := (&Explorer{K: 1}).All(tree, in)
+	if out.LabelsExamined != 5 {
+		t.Errorf("LabelsExamined = %d; want 5", out.LabelsExamined)
+	}
+	if out.TuplesExamined != 2 {
+		t.Errorf("TuplesExamined = %d; want 2", out.TuplesExamined)
+	}
+	if out.RelevantFound != 2 || out.RelevantTotal != 2 {
+		t.Errorf("Relevant = %d/%d; want 2/2", out.RelevantFound, out.RelevantTotal)
+	}
+	if got := out.Cost(1); got != 7 {
+		t.Errorf("Cost = %v; want 7", got)
+	}
+	if got := out.Cost(0.5); got != 4.5 {
+		t.Errorf("Cost(K=0.5) = %v; want 4.5", got)
+	}
+}
+
+func TestAllScenarioNoPriceCondition(t *testing.T) {
+	tree := fixtureTree(t)
+	// No condition on price: at Bellevue the user chooses SHOWTUPLES (she
+	// wants all prices), examining all 4 Bellevue tuples.
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')")
+	out := (&Explorer{K: 1}).All(tree, in)
+	if out.LabelsExamined != 3 || out.TuplesExamined != 4 {
+		t.Errorf("labels/tuples = %d/%d; want 3/4", out.LabelsExamined, out.TuplesExamined)
+	}
+	if out.RelevantFound != 4 {
+		t.Errorf("RelevantFound = %d; want 4", out.RelevantFound)
+	}
+}
+
+func TestAllScenarioNoConditionsScansEverything(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty")
+	out := (&Explorer{K: 1}).All(tree, in)
+	// No condition on neighborhood: SHOWTUPLES at the root.
+	if out.TuplesExamined != 9 || out.LabelsExamined != 0 {
+		t.Errorf("tuples/labels = %d/%d; want 9/0", out.TuplesExamined, out.LabelsExamined)
+	}
+}
+
+func TestAllScenarioMultiHood(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA','Seattle, WA')")
+	out := (&Explorer{K: 1}).All(tree, in)
+	// 3 hood labels + Redmond tuples (3) + Seattle tuples (2).
+	if out.LabelsExamined != 3 || out.TuplesExamined != 5 {
+		t.Errorf("labels/tuples = %d/%d; want 3/5", out.LabelsExamined, out.TuplesExamined)
+	}
+	if out.CategoriesExplored != 2 {
+		t.Errorf("CategoriesExplored = %d; want 2", out.CategoriesExplored)
+	}
+}
+
+func TestOneScenarioStopsAtFirstRelevant(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 230000 AND 240000")
+	out := (&Explorer{K: 1}).One(tree, in)
+	// Root SHOWCAT: reads Bellevue label (1), explores; Bellevue SHOWCAT:
+	// reads low-bucket label (1), explores; SHOWTUPLES scans tuple 0 (not
+	// relevant: 210000) then tuple 1 (relevant).
+	if !out.Found {
+		t.Fatal("should find a relevant tuple")
+	}
+	if out.LabelsExamined != 2 || out.TuplesExamined != 2 {
+		t.Errorf("labels/tuples = %d/%d; want 2/2", out.LabelsExamined, out.TuplesExamined)
+	}
+	if out.RelevantFound != 1 {
+		t.Errorf("RelevantFound = %d; want 1", out.RelevantFound)
+	}
+}
+
+func TestOneScenarioLaterSibling(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA')")
+	out := (&Explorer{K: 1}).One(tree, in)
+	// Reads Bellevue, Redmond, Seattle labels (3), explores Seattle,
+	// SHOWTUPLES finds tuple 7 immediately.
+	if out.LabelsExamined != 3 || out.TuplesExamined != 1 || !out.Found {
+		t.Errorf("labels/tuples/found = %d/%d/%v; want 3/1/true", out.LabelsExamined, out.TuplesExamined, out.Found)
+	}
+}
+
+func TestOneScenarioEmptyDrilldownResumes(t *testing.T) {
+	tree := fixtureTree(t)
+	// Price condition overlapping the low bucket but matching no Bellevue
+	// tuple (215000-235000 range matches tuple at 240000? no: 240000 > hi;
+	// tuple 0 at 210000 < lo). Bellevue yields nothing; Redmond has 220000.
+	in := intentFor("SELECT * FROM ListProperty WHERE price BETWEEN 215000 AND 235000")
+	out := (&Explorer{K: 1}).One(tree, in)
+	// No neighborhood condition: root is... wantsShowCat(neighborhood) =
+	// false -> SHOWTUPLES at root; scans tuples 0..3 then 4 (220000 matches
+	// at index... tuple0 210000 no, 1 240000 no, 2,3 no, 4 220000 yes) = 5.
+	if !out.Found || out.TuplesExamined != 5 {
+		t.Errorf("tuples/found = %d/%v; want 5/true", out.TuplesExamined, out.Found)
+	}
+}
+
+func TestOneScenarioNotFound(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Kirkland, WA')")
+	out := (&Explorer{K: 1}).One(tree, in)
+	if out.Found || out.RelevantFound != 0 {
+		t.Errorf("found = %v relevant = %d; want false/0", out.Found, out.RelevantFound)
+	}
+	if out.RelevantTotal != 0 {
+		t.Errorf("RelevantTotal = %d; want 0", out.RelevantTotal)
+	}
+}
+
+func TestFlatBaselines(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA')")
+	all := FlatAll(tree, in)
+	if all.TuplesExamined != 9 || all.RelevantFound != 3 || all.LabelsExamined != 0 {
+		t.Errorf("FlatAll = %+v", all)
+	}
+	one := FlatOne(tree, in)
+	// First Redmond tuple is at index 4 -> 5 tuples examined.
+	if one.TuplesExamined != 5 || !one.Found {
+		t.Errorf("FlatOne = %+v", one)
+	}
+}
+
+func TestNormalizedCost(t *testing.T) {
+	o := Outcome{TuplesExamined: 10, LabelsExamined: 4, RelevantFound: 2}
+	if got := o.NormalizedCost(1); got != 7 {
+		t.Errorf("NormalizedCost = %v; want 7", got)
+	}
+	if got := (Outcome{}).NormalizedCost(1); !math.IsInf(got, 1) {
+		t.Errorf("NormalizedCost with 0 found = %v; want +Inf", got)
+	}
+}
+
+func TestNoiseDeterministicWithoutRng(t *testing.T) {
+	tree := fixtureTree(t)
+	in := &Intent{
+		Query:        sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')"),
+		ExploreNoise: 1, IgnoreNoise: 1, ShowCatNoise: 1, // ignored without Rng
+	}
+	a := (&Explorer{K: 1}).All(tree, in)
+	b := (&Explorer{K: 1}).All(tree, in)
+	if a != b {
+		t.Fatalf("deterministic intent produced different outcomes: %+v vs %+v", a, b)
+	}
+}
+
+func TestIgnoreNoiseReducesFound(t *testing.T) {
+	tree := fixtureTree(t)
+	rng := rand.New(rand.NewSource(42))
+	sawMiss := false
+	for trial := 0; trial < 50 && !sawMiss; trial++ {
+		in := &Intent{
+			Query:       sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 300000"),
+			Rng:         rng,
+			IgnoreNoise: 0.9,
+		}
+		out := (&Explorer{K: 1}).All(tree, in)
+		if out.RelevantFound < out.RelevantTotal {
+			sawMiss = true
+		}
+	}
+	if !sawMiss {
+		t.Fatal("high IgnoreNoise never caused a missed relevant tuple in 50 trials")
+	}
+}
+
+func TestExploreNoiseIncreasesCost(t *testing.T) {
+	tree := fixtureTree(t)
+	rng := rand.New(rand.NewSource(7))
+	base := (&Explorer{K: 1}).All(tree, intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA')"))
+	sawExtra := false
+	for trial := 0; trial < 50 && !sawExtra; trial++ {
+		in := &Intent{
+			Query:        sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA')"),
+			Rng:          rng,
+			ExploreNoise: 0.9,
+		}
+		out := (&Explorer{K: 1}).All(tree, in)
+		if out.Cost(1) > base.Cost(1) {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Fatal("high ExploreNoise never increased cost in 50 trials")
+	}
+}
+
+// TestAllFindsEveryReachableRelevant is the key soundness property of the
+// deterministic ALL exploration: the user finds every relevant tuple,
+// because categories overlapping her query are always explored.
+func TestAllFindsEveryReachableRelevant(t *testing.T) {
+	// Build real trees over random data and check RelevantFound ==
+	// RelevantTotal for deterministic intents drawn from the workload shape.
+	queries := make([]string, 60)
+	hoods := []string{"Bellevue, WA", "Redmond, WA", "Seattle, WA", "Issaquah, WA"}
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT * FROM ListProperty WHERE neighborhood IN ('%s') AND price BETWEEN %d AND %d",
+			hoods[i%4], 200000+(i%3)*25000, 250000+(i%3)*25000)
+	}
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wstats := workload.Preprocess(w, workload.Config{Intervals: map[string]float64{"price": 25000}})
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := relation.MustSchema(
+			relation.Attribute{Name: "neighborhood", Type: relation.Categorical},
+			relation.Attribute{Name: "price", Type: relation.Numeric},
+		)
+		r := relation.New("ListProperty", schema)
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			r.MustAppend(relation.Tuple{
+				relation.StringValue(hoods[rng.Intn(len(hoods))]),
+				relation.NumberValue(200000 + float64(rng.Intn(20))*5000),
+			})
+		}
+		c := category.NewCategorizer(wstats, category.Options{M: 10, X: 0.05})
+		tree, err := c.Categorize(r, nil)
+		if err != nil || tree.Validate() != nil {
+			t.Logf("seed %d: bad tree: %v", seed, err)
+			return false
+		}
+		in := &Intent{Query: sqlparse.MustParse(queries[rng.Intn(len(queries))])}
+		out := (&Explorer{K: 1}).All(tree, in)
+		if out.RelevantFound != out.RelevantTotal {
+			t.Logf("seed %d: found %d of %d relevant", seed, out.RelevantFound, out.RelevantTotal)
+			return false
+		}
+		// Cost can never exceed scanning everything plus reading every label.
+		maxCost := float64(r.Len() + tree.NodeCount())
+		if out.Cost(1) > maxCost {
+			t.Logf("seed %d: cost %v exceeds bound %v", seed, out.Cost(1), maxCost)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOneNeverExaminesMoreThanAll: for the same deterministic intent the ONE
+// exploration examines at most as many tuples as the ALL exploration plus
+// labels bounded by the tree size.
+func TestOneCostBounded(t *testing.T) {
+	tree := fixtureTree(t)
+	intents := []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')",
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA','Seattle, WA')",
+		"SELECT * FROM ListProperty WHERE price BETWEEN 250000 AND 300000",
+		"SELECT * FROM ListProperty",
+	}
+	for _, sql := range intents {
+		in := intentFor(sql)
+		one := (&Explorer{K: 1}).One(tree, in)
+		all := (&Explorer{K: 1}).All(tree, in)
+		if one.TuplesExamined > all.TuplesExamined {
+			t.Errorf("%s: ONE examined %d tuples > ALL %d", sql, one.TuplesExamined, all.TuplesExamined)
+		}
+		if one.RelevantFound > 1 {
+			t.Errorf("%s: ONE found %d relevant tuples; want ≤ 1", sql, one.RelevantFound)
+		}
+	}
+}
+
+func TestRecognitionProbDeterministicWithoutRng(t *testing.T) {
+	in := &Intent{Query: sqlparse.MustParse("SELECT * FROM T"), ScanFatigue: 5}
+	if p := in.recognitionProb(100000); p != 1 {
+		t.Fatalf("recognitionProb without Rng = %v; want 1", p)
+	}
+}
+
+func TestRecognitionProbDecaysAndFloors(t *testing.T) {
+	in := &Intent{
+		Query:       sqlparse.MustParse("SELECT * FROM T"),
+		Rng:         rand.New(rand.NewSource(1)),
+		ScanFatigue: 1,
+	}
+	if p := in.recognitionProb(0); p != 1 {
+		t.Fatalf("recognitionProb(0) = %v; want 1", p)
+	}
+	if p := in.recognitionProb(500); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("recognitionProb(500) = %v; want 0.5", p)
+	}
+	if p := in.recognitionProb(100000); p != 0.05 {
+		t.Fatalf("recognitionProb(huge) = %v; want floor 0.05", p)
+	}
+}
+
+func TestFatigueReducesRelevantFoundInLongLists(t *testing.T) {
+	// A flat 1-node tree with many tuples: without fatigue the ALL scan
+	// finds everything; with strong fatigue it misses a chunk.
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "n", Type: relation.Categorical},
+	)
+	r := relation.New("T", schema)
+	for i := 0; i < 2000; i++ {
+		r.MustAppend(relation.Tuple{relation.StringValue("x")})
+	}
+	root := &category.Node{Label: category.Label{Kind: category.LabelAll},
+		Tset: r.Select(nil), P: 1, Pw: 1}
+	tree := &category.Tree{Root: root, R: r, K: 1}
+	q := sqlparse.MustParse("SELECT * FROM T WHERE n IN ('x')")
+	ex := &Explorer{K: 1}
+
+	noFatigue := ex.All(tree, &Intent{Query: q, Rng: rand.New(rand.NewSource(3))})
+	if noFatigue.RelevantFound != 2000 {
+		t.Fatalf("without fatigue found %d of 2000", noFatigue.RelevantFound)
+	}
+	fatigued := ex.All(tree, &Intent{Query: q, Rng: rand.New(rand.NewSource(3)), ScanFatigue: 1})
+	if fatigued.RelevantFound >= 1000 {
+		t.Fatalf("with fatigue (recognition floor 0.05 at 2000 tuples) found %d; want far fewer", fatigued.RelevantFound)
+	}
+	if fatigued.TuplesExamined != 2000 {
+		t.Fatalf("fatigue must not change items examined: %d", fatigued.TuplesExamined)
+	}
+}
+
+func TestFatigueSparesShortLists(t *testing.T) {
+	tree := fixtureTree(t)
+	in := &Intent{
+		Query:       sqlparse.MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')"),
+		Rng:         rand.New(rand.NewSource(5)),
+		ScanFatigue: 0.5, // at 4 tuples recognition ≈ 0.998
+	}
+	miss := 0
+	for trial := 0; trial < 30; trial++ {
+		out := (&Explorer{K: 1}).All(tree, in)
+		if out.RelevantFound < out.RelevantTotal {
+			miss++
+		}
+	}
+	if miss > 3 {
+		t.Fatalf("short leaf scans missed relevant tuples in %d/30 trials", miss)
+	}
+}
+
+func TestFatigueOneScenarioKeepsScanning(t *testing.T) {
+	// In the ONE scenario an overlooked relevant tuple means the scan
+	// continues; with total fatigue floor the user can still succeed later.
+	schema := relation.MustSchema(relation.Attribute{Name: "n", Type: relation.Categorical})
+	r := relation.New("T", schema)
+	for i := 0; i < 3000; i++ {
+		r.MustAppend(relation.Tuple{relation.StringValue("x")})
+	}
+	root := &category.Node{Label: category.Label{Kind: category.LabelAll},
+		Tset: r.Select(nil), P: 1, Pw: 1}
+	tree := &category.Tree{Root: root, R: r, K: 1}
+	rng := rand.New(rand.NewSource(9))
+	totalExamined := 0
+	for trial := 0; trial < 50; trial++ {
+		in := &Intent{
+			Query:       sqlparse.MustParse("SELECT * FROM T WHERE n IN ('x')"),
+			Rng:         rng,
+			ScanFatigue: 2,
+		}
+		out := (&Explorer{K: 1}).One(tree, in)
+		if !out.Found {
+			t.Fatal("with a 0.05 recognition floor over 3000 relevant tuples the user should find one")
+		}
+		totalExamined += out.TuplesExamined
+	}
+	// With recognition 0.05, the expected scan length to the first
+	// recognized tuple is ≈ 1/0.05 ≈ 20; without fatigue it would be 1.
+	if avg := float64(totalExamined) / 50; avg < 2 {
+		t.Fatalf("fatigued ONE scans averaged %.1f tuples; expected noticeably more than 1", avg)
+	}
+}
+
+func TestFewMatchesOneAndAll(t *testing.T) {
+	tree := fixtureTree(t)
+	intents := []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')",
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA','Seattle, WA')",
+		"SELECT * FROM ListProperty WHERE price BETWEEN 215000 AND 235000",
+		"SELECT * FROM ListProperty",
+	}
+	ex := &Explorer{K: 1}
+	for _, sql := range intents {
+		in := intentFor(sql)
+		one := ex.One(tree, in)
+		few1 := ex.Few(tree, in, 1)
+		if one.TuplesExamined != few1.TuplesExamined || one.LabelsExamined != few1.LabelsExamined ||
+			one.Found != few1.Found {
+			t.Errorf("%s: Few(1) %+v != One %+v", sql, few1, one)
+		}
+		all := ex.All(tree, in)
+		fewAll := ex.Few(tree, in, 1<<30)
+		if all.TuplesExamined != fewAll.TuplesExamined || all.RelevantFound != fewAll.RelevantFound {
+			t.Errorf("%s: Few(inf) %+v != All %+v", sql, fewAll, all)
+		}
+	}
+}
+
+func TestFewMonotoneInK(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')")
+	ex := &Explorer{K: 1}
+	prev := -1.0
+	for _, k := range []int{1, 2, 3, 4, 100} {
+		out := ex.Few(tree, in, k)
+		cost := out.Cost(1)
+		if cost < prev {
+			t.Fatalf("Few cost not monotone in k: k=%d cost=%v prev=%v", k, cost, prev)
+		}
+		if out.RelevantFound > k {
+			t.Fatalf("Few(k=%d) found %d > k", k, out.RelevantFound)
+		}
+		prev = cost
+	}
+}
+
+func TestFewClampsK(t *testing.T) {
+	tree := fixtureTree(t)
+	in := intentFor("SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA')")
+	a := (&Explorer{K: 1}).Few(tree, in, 0)
+	b := (&Explorer{K: 1}).Few(tree, in, 1)
+	if a != b {
+		t.Fatalf("Few(0) should clamp to 1: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,220 @@
+package ranking
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/category"
+	"repro/internal/explore"
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+func rankSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "neighborhood", Type: relation.Categorical},
+		relation.Attribute{Name: "price", Type: relation.Numeric},
+	)
+}
+
+// rankStats: Bellevue is requested 3× more than Seattle; prices cluster in
+// 200-250k.
+func rankStats(t *testing.T) *workload.Stats {
+	t.Helper()
+	var queries []string
+	for i := 0; i < 30; i++ {
+		queries = append(queries, "SELECT * FROM T WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 250000")
+	}
+	for i := 0; i < 10; i++ {
+		queries = append(queries, "SELECT * FROM T WHERE neighborhood IN ('Seattle, WA')")
+	}
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Preprocess(w, workload.Config{Intervals: map[string]float64{"price": 25000}})
+}
+
+func rankRelation() *relation.Relation {
+	r := relation.New("T", rankSchema())
+	rows := []struct {
+		n string
+		p float64
+	}{
+		{"Seattle, WA", 400000},  // 0: unpopular hood, unpopular price
+		{"Bellevue, WA", 220000}, // 1: popular hood, popular price
+		{"Seattle, WA", 230000},  // 2: unpopular hood, popular price
+		{"Bellevue, WA", 500000}, // 3: popular hood, unpopular price
+	}
+	for _, row := range rows {
+		r.MustAppend(relation.Tuple{relation.StringValue(row.n), relation.NumberValue(row.p)})
+	}
+	return r
+}
+
+func TestScoreOrdering(t *testing.T) {
+	stats := rankStats(t)
+	rel := rankRelation()
+	rk := New(stats, rel.Schema())
+	s := make([]float64, rel.Len())
+	for i := range s {
+		s[i] = rk.Score(rel, i)
+	}
+	// Popular hood + popular price must dominate; unpopular both must trail.
+	if !(s[1] > s[3] && s[1] > s[2] && s[1] > s[0]) {
+		t.Fatalf("tuple 1 should rank best: scores %v", s)
+	}
+	if !(s[0] < s[2] && s[0] < s[3]) {
+		t.Fatalf("tuple 0 should rank worst: scores %v", s)
+	}
+}
+
+func TestRankStableAndNonMutating(t *testing.T) {
+	stats := rankStats(t)
+	rel := rankRelation()
+	rk := New(stats, rel.Schema())
+	rows := []int{0, 1, 2, 3}
+	ranked := rk.Rank(rel, rows)
+	if rows[0] != 0 || rows[3] != 3 {
+		t.Fatal("Rank mutated its input")
+	}
+	if ranked[0] != 1 {
+		t.Fatalf("ranked[0] = %d; want tuple 1", ranked[0])
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked length %d", len(ranked))
+	}
+	again := rk.Rank(rel, rows)
+	for i := range ranked {
+		if ranked[i] != again[i] {
+			t.Fatal("Rank not deterministic")
+		}
+	}
+}
+
+func TestRankerIgnoresUnfilteredAttrs(t *testing.T) {
+	// A workload that never filters: every tuple scores 0 and order is
+	// preserved (stable).
+	w, _ := workload.ParseStrings([]string{"SELECT * FROM T"})
+	stats := workload.Preprocess(w, workload.Config{})
+	rel := rankRelation()
+	rk := New(stats, rel.Schema())
+	ranked := rk.Rank(rel, []int{2, 0, 3, 1})
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if ranked[i] != want[i] {
+			t.Fatalf("order not preserved under zero scores: %v", ranked)
+		}
+	}
+}
+
+// bigRankFixture builds a relation + tree + workload where popularity
+// correlates with a typical user's interest.
+func bigRankFixture(t *testing.T) (*workload.Stats, *relation.Relation, *category.Tree) {
+	t.Helper()
+	var queries []string
+	for i := 0; i < 60; i++ {
+		queries = append(queries, fmt.Sprintf(
+			"SELECT * FROM T WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN %d AND %d",
+			200000+(i%2)*25000, 225000+(i%2)*25000))
+	}
+	for i := 0; i < 20; i++ {
+		queries = append(queries, "SELECT * FROM T WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 300000 AND 400000")
+	}
+	w, err := workload.ParseStrings(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := workload.Preprocess(w, workload.Config{Intervals: map[string]float64{"price": 25000}})
+
+	rel := relation.New("T", rankSchema())
+	hoods := []string{"Bellevue, WA", "Seattle, WA"}
+	for i := 0; i < 400; i++ {
+		rel.MustAppend(relation.Tuple{
+			relation.StringValue(hoods[i%2]),
+			relation.NumberValue(200000 + float64((i*7)%40)*5000),
+		})
+	}
+	cat := category.NewCategorizer(stats, category.Options{M: 25, X: 0.1})
+	tree, err := cat.Categorize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, rel, tree
+}
+
+func TestRankTreePreservesMembership(t *testing.T) {
+	stats, rel, tree := bigRankFixture(t)
+	before := map[*category.Node]map[int]bool{}
+	tree.Root.Walk(func(n *category.Node, _ int) bool {
+		set := make(map[int]bool, len(n.Tset))
+		for _, i := range n.Tset {
+			set[i] = true
+		}
+		before[n] = set
+		return true
+	})
+	RankTree(New(stats, rel.Schema()), tree)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("ranked tree invalid: %v", err)
+	}
+	tree.Root.Walk(func(n *category.Node, _ int) bool {
+		if len(n.Tset) != len(before[n]) {
+			t.Fatalf("node %q tset size changed", n.Label)
+		}
+		for _, i := range n.Tset {
+			if !before[n][i] {
+				t.Fatalf("node %q gained tuple %d", n.Label, i)
+			}
+		}
+		return true
+	})
+}
+
+func TestRankTreeOrdersLeavesByScore(t *testing.T) {
+	stats, rel, tree := bigRankFixture(t)
+	rk := New(stats, rel.Schema())
+	RankTree(rk, tree)
+	tree.Root.Walk(func(n *category.Node, _ int) bool {
+		for i := 1; i < len(n.Tset); i++ {
+			if rk.Score(rel, n.Tset[i]) > rk.Score(rel, n.Tset[i-1])+1e-12 {
+				t.Fatalf("node %q tuples not in descending score order", n.Label)
+			}
+		}
+		return true
+	})
+}
+
+// TestRankingImprovesOneScenario reproduces the §2 complementarity claim:
+// for a user whose interest matches the workload majority, ranking the flat
+// list (and the tree leaves) lowers the ONE-scenario cost.
+func TestRankingImprovesOneScenario(t *testing.T) {
+	stats, rel, tree := bigRankFixture(t)
+	rk := New(stats, rel.Schema())
+
+	// The majority-taste user: Bellevue, 200-225k — matches the dominant
+	// workload queries, so popular tuples are relevant to her.
+	intent := &explore.Intent{Query: sqlparse.MustParse(
+		"SELECT * FROM T WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 225000")}
+	ex := &explore.Explorer{K: 1}
+
+	flatBefore := explore.FlatOne(tree, intent)
+	treeBefore := ex.One(tree, intent)
+	RankTree(rk, tree)
+	// Rank the flat presentation too: root tset is the whole result.
+	treeAfter := ex.One(tree, intent)
+	flatAfter := explore.FlatOne(tree, intent)
+
+	if !flatBefore.Found || !flatAfter.Found || !treeBefore.Found || !treeAfter.Found {
+		t.Fatal("user should always find a relevant tuple")
+	}
+	if flatAfter.TuplesExamined > flatBefore.TuplesExamined {
+		t.Errorf("ranking worsened the flat scan: %d -> %d tuples",
+			flatBefore.TuplesExamined, flatAfter.TuplesExamined)
+	}
+	if treeAfter.Cost(1) > treeBefore.Cost(1) {
+		t.Errorf("ranking worsened the tree exploration: %.0f -> %.0f",
+			treeBefore.Cost(1), treeAfter.Cost(1))
+	}
+}

@@ -1,0 +1,150 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `neighborhood,price,bedrooms
+"Bellevue, WA",250000,3
+"Seattle, WA",310000,4
+"Redmond, WA",220000,2
+`
+
+func TestReadCSVInferred(t *testing.T) {
+	r, err := ReadCSV("homes", strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if typ, _ := r.Schema().TypeOf("neighborhood"); typ != Categorical {
+		t.Error("neighborhood should infer categorical")
+	}
+	if typ, _ := r.Schema().TypeOf("price"); typ != Numeric {
+		t.Error("price should infer numeric")
+	}
+	if got := r.Row(0)[0].Str; got != "Bellevue, WA" {
+		t.Errorf("row0 neighborhood = %q", got)
+	}
+	if got := r.Row(1)[1].Num; got != 310000 {
+		t.Errorf("row1 price = %v", got)
+	}
+}
+
+func TestReadCSVExplicitSchema(t *testing.T) {
+	// Force price to be categorical: cells stay strings.
+	schema := MustSchema(
+		Attribute{Name: "price", Type: Categorical},
+		Attribute{Name: "neighborhood", Type: Categorical},
+		Attribute{Name: "bedrooms", Type: Numeric},
+	)
+	r, err := ReadCSV("homes", strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	// Schema order differs from CSV order; mapping is by name.
+	if got := r.Row(0)[0].Str; got != "250000" {
+		t.Errorf("price cell = %q; want string \"250000\"", got)
+	}
+	if got := r.Row(0)[1].Str; got != "Bellevue, WA" {
+		t.Errorf("neighborhood cell = %q", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader(""), nil); err == nil {
+		t.Error("empty input should error")
+	}
+	schema := MustSchema(Attribute{Name: "missing", Type: Numeric})
+	if _, err := ReadCSV("x", strings.NewReader(sampleCSV), schema); err == nil {
+		t.Error("missing attribute should error")
+	}
+	bad := "a,b\n1,notnum\n"
+	schemaNum := MustSchema(
+		Attribute{Name: "a", Type: Numeric},
+		Attribute{Name: "b", Type: Numeric},
+	)
+	if _, err := ReadCSV("x", strings.NewReader(bad), schemaNum); err == nil {
+		t.Error("non-numeric cell under numeric schema should error")
+	}
+	dup := "a,a\n1,2\n"
+	if _, err := ReadCSV("x", strings.NewReader(dup), nil); err == nil {
+		t.Error("duplicate columns should error")
+	}
+	ragged := "a,b\n1\n"
+	if _, err := ReadCSV("x", strings.NewReader(ragged), nil); err == nil {
+		t.Error("ragged CSV should error")
+	}
+}
+
+func TestReadCSVMixedColumnFallsBackToCategorical(t *testing.T) {
+	src := "col\n1\ntwo\n3\n"
+	r, err := ReadCSV("x", strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, _ := r.Schema().TypeOf("col"); typ != Categorical {
+		t.Error("mixed column must infer categorical")
+	}
+}
+
+func TestReadCSVEmptyColumnCategorical(t *testing.T) {
+	src := "a,b\n,1\n,2\n"
+	r, err := ReadCSV("x", strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, _ := r.Schema().TypeOf("a"); typ != Categorical {
+		t.Error("all-empty column must default to categorical")
+	}
+	if typ, _ := r.Schema().TypeOf("b"); typ != Numeric {
+		t.Error("numeric column mis-inferred")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV("homes", strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV("homes", &buf, orig.Schema())
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round-trip lost rows: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < back.Len(); i++ {
+		for j := range back.Row(i) {
+			if back.Row(i)[j] != orig.Row(i)[j] {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, back.Row(i)[j], orig.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVPropagatesError(t *testing.T) {
+	r, _ := ReadCSV("homes", strings.NewReader(sampleCSV), nil)
+	if err := r.WriteCSV(&failingWriter{}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWriteFailed
+}
+
+var errWriteFailed = &csvWriteError{}
+
+type csvWriteError struct{}
+
+func (*csvWriteError) Error() string { return "write failed" }

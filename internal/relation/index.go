@@ -1,0 +1,180 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Secondary indexes accelerate Select: a hash index per categorical
+// attribute (value → sorted row ids) and a sorted index per numeric
+// attribute. Selection picks the most selective indexed conjunct to produce
+// a candidate list and verifies the full predicate on the candidates, so
+// results are always identical to a full scan. The paper's system sits on a
+// commercial DBMS that does the same; this is our substrate's version.
+
+type catIndex map[string][]int
+
+type numIndex struct {
+	vals []float64 // sorted
+	rows []int     // parallel to vals
+}
+
+// BuildIndex builds secondary indexes on the named attributes (all
+// attributes when none are given). Appending rows afterwards drops all
+// indexes; rebuild when loading is done.
+func (r *Relation) BuildIndex(attrs ...string) error {
+	if len(attrs) == 0 {
+		attrs = make([]string, r.schema.Len())
+		for i := range attrs {
+			attrs[i] = r.schema.Attr(i).Name
+		}
+	}
+	if r.catIdx == nil {
+		r.catIdx = make(map[string]catIndex)
+	}
+	if r.numIdx == nil {
+		r.numIdx = make(map[string]*numIndex)
+	}
+	for _, attr := range attrs {
+		pos, ok := r.schema.Lookup(attr)
+		if !ok {
+			return fmt.Errorf("relation %s: no attribute %q to index", r.Name, attr)
+		}
+		key := r.schema.Attr(pos).Name
+		if r.schema.Attr(pos).Type == Categorical {
+			idx := make(catIndex)
+			for i, row := range r.rows {
+				v := row[pos].Str
+				idx[v] = append(idx[v], i)
+			}
+			r.catIdx[lower(key)] = idx
+			continue
+		}
+		idx := &numIndex{vals: make([]float64, len(r.rows)), rows: make([]int, len(r.rows))}
+		order := make([]int, len(r.rows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return r.rows[order[a]][pos].Num < r.rows[order[b]][pos].Num
+		})
+		for k, i := range order {
+			idx.vals[k] = r.rows[i][pos].Num
+			idx.rows[k] = i
+		}
+		r.numIdx[lower(key)] = idx
+	}
+	return nil
+}
+
+// Indexed reports whether the attribute currently has a secondary index.
+func (r *Relation) Indexed(attr string) bool {
+	key := lower(attr)
+	if _, ok := r.catIdx[key]; ok {
+		return true
+	}
+	_, ok := r.numIdx[key]
+	return ok
+}
+
+// dropIndexes invalidates all secondary indexes (rows changed).
+func (r *Relation) dropIndexes() {
+	r.catIdx = nil
+	r.numIdx = nil
+}
+
+// candidates returns a sorted row-id list guaranteed to contain every row
+// matching pred, using an index on one of pred's conjuncts, or ok=false
+// when no indexed conjunct applies.
+func (r *Relation) candidates(pred Predicate) (list []int, ok bool) {
+	best, bestLen := []int(nil), -1
+	consider := func(p Predicate) {
+		var l []int
+		var usable bool
+		switch q := p.(type) {
+		case *In:
+			l, usable = r.catCandidates(q)
+		case *Range:
+			l, usable = r.numCandidates(q)
+		}
+		if usable && (bestLen == -1 || len(l) < bestLen) {
+			best, bestLen = l, len(l)
+		}
+	}
+	switch p := pred.(type) {
+	case *And:
+		for _, c := range p.Preds {
+			consider(c)
+		}
+	default:
+		consider(pred)
+	}
+	if bestLen == -1 {
+		return nil, false
+	}
+	return best, true
+}
+
+func (r *Relation) catCandidates(p *In) ([]int, bool) {
+	idx, ok := r.catIdx[lower(p.Attr)]
+	if !ok {
+		return nil, false
+	}
+	if len(p.Values) == 1 {
+		for v := range p.Values {
+			return idx[v], true
+		}
+	}
+	var lists [][]int
+	total := 0
+	for v := range p.Values {
+		if l := idx[v]; len(l) > 0 {
+			lists = append(lists, l)
+			total += len(l)
+		}
+	}
+	// Value lists are disjoint (one value per row), so a k-way merge of
+	// sorted lists yields a sorted union.
+	out := make([]int, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Ints(out)
+	return out, true
+}
+
+func (r *Relation) numCandidates(p *Range) ([]int, bool) {
+	idx, ok := r.numIdx[lower(p.Attr)]
+	if !ok {
+		return nil, false
+	}
+	lo := sort.SearchFloat64s(idx.vals, p.Lo)
+	var hi int
+	if p.HiInc {
+		hi = sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] > p.Hi })
+	} else {
+		hi = sort.SearchFloat64s(idx.vals, p.Hi)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]int, hi-lo)
+	copy(out, idx.rows[lo:hi])
+	sort.Ints(out)
+	return out, true
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

@@ -1,0 +1,245 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func indexedRelation(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := relationOfSize(n, 7)
+	if err := r.BuildIndex(); err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return r
+}
+
+func relationOfSize(n int, seed int64) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := New("homes", MustSchema(
+		Attribute{Name: "neighborhood", Type: Categorical},
+		Attribute{Name: "price", Type: Numeric},
+		Attribute{Name: "bedrooms", Type: Numeric},
+	))
+	hoods := []string{"Bellevue, WA", "Redmond, WA", "Seattle, WA", "Issaquah, WA"}
+	for i := 0; i < n; i++ {
+		r.MustAppend(Tuple{
+			StringValue(hoods[rng.Intn(len(hoods))]),
+			NumberValue(float64(200000 + rng.Intn(50)*5000)),
+			NumberValue(float64(1 + rng.Intn(6))),
+		})
+	}
+	return r
+}
+
+func TestBuildIndexUnknownAttr(t *testing.T) {
+	r := relationOfSize(10, 1)
+	if err := r.BuildIndex("missing"); err == nil {
+		t.Fatal("indexing a missing attribute should error")
+	}
+}
+
+func TestIndexedFlag(t *testing.T) {
+	r := relationOfSize(10, 1)
+	if r.Indexed("price") {
+		t.Fatal("no index should exist before BuildIndex")
+	}
+	if err := r.BuildIndex("price", "neighborhood"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Indexed("price") || !r.Indexed("NEIGHBORHOOD") {
+		t.Fatal("Indexed should report built indexes case-insensitively")
+	}
+	if r.Indexed("bedrooms") {
+		t.Fatal("bedrooms was not indexed")
+	}
+}
+
+func TestAppendDropsIndexes(t *testing.T) {
+	r := indexedRelation(t, 20)
+	r.MustAppend(Tuple{StringValue("Bellevue, WA"), NumberValue(250000), NumberValue(3)})
+	if r.Indexed("price") {
+		t.Fatal("Append must invalidate indexes")
+	}
+	// Select must still be correct without indexes.
+	got := r.Select(NewIn("neighborhood", "Bellevue, WA"))
+	if len(got) == 0 || got[len(got)-1] != r.Len()-1 {
+		t.Fatalf("post-append select missed the new row: %v", got)
+	}
+}
+
+// TestIndexedSelectMatchesScan is the equivalence property: indexed and
+// unindexed Select return identical results for arbitrary predicates.
+func TestIndexedSelectMatchesScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(300)
+		plain := relationOfSize(n, seed)
+		indexed := relationOfSize(n, seed)
+		if err := indexed.BuildIndex(); err != nil {
+			return false
+		}
+		hoods := []string{"Bellevue, WA", "Redmond, WA", "Seattle, WA", "Issaquah, WA", "Nowhere"}
+		for trial := 0; trial < 12; trial++ {
+			var pred Predicate
+			switch trial % 4 {
+			case 0:
+				pred = NewIn("neighborhood", hoods[rng.Intn(len(hoods))], hoods[rng.Intn(len(hoods))])
+			case 1:
+				lo := float64(200000 + rng.Intn(50)*5000)
+				pred = NewRange("price", lo, lo+float64(rng.Intn(20))*5000)
+			case 2:
+				lo := float64(200000 + rng.Intn(50)*5000)
+				pred = NewClosedRange("price", lo, lo+50000)
+			case 3:
+				pred = NewAnd(
+					NewIn("neighborhood", hoods[rng.Intn(len(hoods))]),
+					NewClosedRange("bedrooms", float64(1+rng.Intn(3)), float64(3+rng.Intn(4))),
+					NewRange("price", 210000, 400000),
+				)
+			}
+			a := plain.Select(pred)
+			b := indexed.Select(pred)
+			if !reflect.DeepEqual(a, b) {
+				t.Logf("seed %d trial %d: scan %v != indexed %v for %v", seed, trial, a, b, pred)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedSelectResultsSorted(t *testing.T) {
+	r := indexedRelation(t, 500)
+	got := r.Select(NewAnd(NewIn("neighborhood", "Seattle, WA", "Bellevue, WA"), NewRange("price", 220000, 380000)))
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("indexed select not in ascending row order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestJoinStarSchema(t *testing.T) {
+	fact := New("listings", MustSchema(
+		Attribute{Name: "hoodid", Type: Categorical},
+		Attribute{Name: "price", Type: Numeric},
+	))
+	fact.MustAppend(Tuple{StringValue("h1"), NumberValue(250000)})
+	fact.MustAppend(Tuple{StringValue("h2"), NumberValue(300000)})
+	fact.MustAppend(Tuple{StringValue("h3"), NumberValue(100000)}) // no dim match
+	fact.MustAppend(Tuple{StringValue("h1"), NumberValue(275000)})
+
+	dim := New("hoods", MustSchema(
+		Attribute{Name: "id", Type: Categorical},
+		Attribute{Name: "name", Type: Categorical},
+		Attribute{Name: "walkscore", Type: Numeric},
+	))
+	dim.MustAppend(Tuple{StringValue("h1"), StringValue("Bellevue"), NumberValue(70)})
+	dim.MustAppend(Tuple{StringValue("h2"), StringValue("Seattle"), NumberValue(90)})
+
+	wide, err := Join(fact, "hoodid", dim, "id")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if wide.Len() != 3 {
+		t.Fatalf("joined rows = %d; want 3 (inner join drops h3)", wide.Len())
+	}
+	if wide.Schema().Len() != 4 {
+		t.Fatalf("joined schema width = %d; want 4", wide.Schema().Len())
+	}
+	pos, ok := wide.Schema().Lookup("name")
+	if !ok {
+		t.Fatal("dimension attribute missing from joined schema")
+	}
+	if wide.Row(0)[pos].Str != "Bellevue" || wide.Row(1)[pos].Str != "Seattle" {
+		t.Fatalf("dimension values misaligned: %v %v", wide.Row(0)[pos], wide.Row(1)[pos])
+	}
+	// The wide table is selectable like any relation.
+	got := wide.Select(NewIn("name", "Bellevue"))
+	if len(got) != 2 {
+		t.Fatalf("select over joined relation = %v", got)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	fact := New("f", MustSchema(
+		Attribute{Name: "k", Type: Categorical},
+		Attribute{Name: "v", Type: Numeric},
+	))
+	dimDup := New("d", MustSchema(
+		Attribute{Name: "k", Type: Categorical},
+		Attribute{Name: "extra", Type: Numeric},
+	))
+	dimDup.MustAppend(Tuple{StringValue("a"), NumberValue(1)})
+	dimDup.MustAppend(Tuple{StringValue("a"), NumberValue(2)})
+	if _, err := Join(fact, "k", dimDup, "k"); err == nil {
+		t.Error("duplicate dimension key should error")
+	}
+	if _, err := Join(fact, "missing", dimDup, "k"); err == nil {
+		t.Error("missing fact key should error")
+	}
+	if _, err := Join(fact, "k", dimDup, "missing"); err == nil {
+		t.Error("missing dim key should error")
+	}
+	dimNum := New("d2", MustSchema(
+		Attribute{Name: "k", Type: Numeric},
+		Attribute{Name: "x", Type: Numeric},
+	))
+	if _, err := Join(fact, "k", dimNum, "k"); err == nil {
+		t.Error("key type mismatch should error")
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	fact := New("f", MustSchema(
+		Attribute{Name: "k", Type: Categorical},
+		Attribute{Name: "price", Type: Numeric},
+	))
+	fact.MustAppend(Tuple{StringValue("a"), NumberValue(10)})
+	dim := New("d", MustSchema(
+		Attribute{Name: "id", Type: Categorical},
+		Attribute{Name: "price", Type: Numeric}, // collides with fact.price
+	))
+	dim.MustAppend(Tuple{StringValue("a"), NumberValue(99)})
+	wide, err := Join(fact, "k", dim, "id")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if _, ok := wide.Schema().Lookup("d_price"); !ok {
+		t.Fatalf("collided attribute not prefixed: %v", wide.Schema().Attrs())
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := relationOfSize(10, 3)
+	p, err := Project(r, "price", "neighborhood")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Schema().Len() != 2 || p.Len() != 10 {
+		t.Fatalf("projection shape %d×%d", p.Len(), p.Schema().Len())
+	}
+	if p.Schema().Attr(0).Name != "price" {
+		t.Fatal("projection order not honored")
+	}
+	for i := 0; i < p.Len(); i++ {
+		origPricePos, _ := r.Schema().Lookup("price")
+		if p.Row(i)[0] != r.Row(i)[origPricePos] {
+			t.Fatalf("row %d price mismatch", i)
+		}
+	}
+	if _, err := Project(r, "nope"); err == nil {
+		t.Error("projecting a missing attribute should error")
+	}
+	if _, err := Project(r); err == nil {
+		t.Error("empty projection should error")
+	}
+	if _, err := Project(r, "price", "price"); err == nil {
+		t.Error("duplicate projection should error")
+	}
+}

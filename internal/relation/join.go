@@ -1,0 +1,116 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Join materializes the equi-join of a fact table with one dimension table —
+// the star-schema flattening the paper assumes (footnote 6: workload queries
+// "are equivalent to select queries on the wide table obtained by joining
+// the fact table with the dimension tables"). It is an inner hash join on
+// fact.factKey = dim.dimKey: fact rows without a dimension match are
+// dropped, and a duplicated dimension key is an error (dimensions are keyed).
+// Dimension attributes (except the key) are appended to the fact schema; on
+// a name collision the dimension attribute is prefixed with "<dim name>_".
+func Join(fact *Relation, factKey string, dim *Relation, dimKey string) (*Relation, error) {
+	fPos, ok := fact.schema.Lookup(factKey)
+	if !ok {
+		return nil, fmt.Errorf("relation: fact table %s has no attribute %q", fact.Name, factKey)
+	}
+	dPos, ok := dim.schema.Lookup(dimKey)
+	if !ok {
+		return nil, fmt.Errorf("relation: dimension table %s has no attribute %q", dim.Name, dimKey)
+	}
+	fType := fact.schema.Attr(fPos).Type
+	if dType := dim.schema.Attr(dPos).Type; fType != dType {
+		return nil, fmt.Errorf("relation: join key type mismatch: %s.%s is %v, %s.%s is %v",
+			fact.Name, factKey, fType, dim.Name, dimKey, dType)
+	}
+
+	// Output schema: all fact attributes, then dim attributes minus the key.
+	attrs := fact.schema.Attrs()
+	taken := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		taken[strings.ToLower(a.Name)] = true
+	}
+	var dimCols []int
+	for i := 0; i < dim.schema.Len(); i++ {
+		if i == dPos {
+			continue
+		}
+		a := dim.schema.Attr(i)
+		name := a.Name
+		if taken[strings.ToLower(name)] {
+			name = dim.Name + "_" + name
+			if taken[strings.ToLower(name)] {
+				return nil, fmt.Errorf("relation: cannot disambiguate joined attribute %q", a.Name)
+			}
+		}
+		taken[strings.ToLower(name)] = true
+		attrs = append(attrs, Attribute{Name: name, Type: a.Type})
+		dimCols = append(dimCols, i)
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: joined schema: %w", err)
+	}
+
+	// Build the dimension hash table.
+	dimByKey := make(map[Value]int, dim.Len())
+	for i := 0; i < dim.Len(); i++ {
+		key := dim.rows[i][dPos]
+		if _, dup := dimByKey[key]; dup {
+			return nil, fmt.Errorf("relation: dimension %s has duplicate key %v", dim.Name, key)
+		}
+		dimByKey[key] = i
+	}
+
+	out := New(fact.Name+"_"+dim.Name, schema)
+	out.Grow(fact.Len())
+	for i := 0; i < fact.Len(); i++ {
+		dRow, ok := dimByKey[fact.rows[i][fPos]]
+		if !ok {
+			continue // inner join: unmatched fact rows are dropped
+		}
+		tuple := make(Tuple, 0, schema.Len())
+		tuple = append(tuple, fact.rows[i]...)
+		for _, c := range dimCols {
+			tuple = append(tuple, dim.rows[dRow][c])
+		}
+		out.MustAppend(tuple)
+	}
+	return out, nil
+}
+
+// Project returns a new relation containing only the named attributes, in
+// the given order. Row order is preserved; cell values are shared.
+func Project(r *Relation, cols ...string) (*Relation, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: projection needs at least one attribute")
+	}
+	attrs := make([]Attribute, len(cols))
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		p, ok := r.schema.Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("relation %s: no attribute %q to project", r.Name, c)
+		}
+		attrs[i] = r.schema.Attr(p)
+		pos[i] = p
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("relation: projected schema: %w", err)
+	}
+	out := New(r.Name, schema)
+	out.Grow(r.Len())
+	for i := 0; i < r.Len(); i++ {
+		tuple := make(Tuple, len(pos))
+		for j, p := range pos {
+			tuple[j] = r.rows[i][p]
+		}
+		out.MustAppend(tuple)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+// Package relation implements a small typed, in-memory relational substrate:
+// schemas with categorical and numeric attributes, tuples, relations, and
+// selection evaluation. It is the storage and execution layer underneath the
+// query-result categorizer: the categorizer consumes a Relation holding the
+// result set R of an SPJ query and partitions it with label predicates.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type classifies an attribute's domain. The categorizer treats the two
+// kinds differently: categorical attributes are partitioned into
+// single-value categories, numeric attributes into ranges.
+type Type int
+
+const (
+	// Categorical attributes hold string values from a discrete domain.
+	Categorical Type = iota
+	// Numeric attributes hold float64 values from an ordered domain.
+	Numeric
+)
+
+// String returns "categorical" or "numeric".
+func (t Type) String() string {
+	switch t {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of attributes with name-based lookup.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int // lower-cased name -> position
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names are
+// case-insensitive and must be unique.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs: make([]Attribute, len(attrs)),
+		index: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range attrs {
+		key := strings.ToLower(a.Name)
+		if key == "" {
+			return nil, fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a.Name)
+		}
+		s.index[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for tests and
+// static schemas.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Lookup returns the position of the named attribute (case-insensitive) and
+// whether it exists.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// TypeOf returns the type of the named attribute. The second result is false
+// if the attribute does not exist.
+func (s *Schema) TypeOf(name string) (Type, bool) {
+	i, ok := s.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return s.attrs[i].Type, true
+}
+
+// Value is a single cell: either a categorical string or a numeric float64,
+// according to the attribute's declared type. The zero Value is a
+// categorical empty string.
+type Value struct {
+	Str string
+	Num float64
+}
+
+// StringValue makes a categorical value.
+func StringValue(s string) Value { return Value{Str: s} }
+
+// NumberValue makes a numeric value.
+func NumberValue(n float64) Value { return Value{Num: n} }
+
+// Tuple is one row, with cells positionally aligned to a Schema.
+type Tuple []Value
+
+// Relation is an in-memory table: a schema plus rows. Rows are stored by
+// value; tuple identity within a relation is the row index, which the
+// categorizer uses to keep tuple-sets as index slices.
+type Relation struct {
+	Name   string
+	schema *Schema
+	rows   []Tuple
+
+	// Secondary indexes (see index.go); nil maps mean "not indexed".
+	catIdx map[string]catIndex
+	numIdx map[string]*numIndex
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the i-th tuple. The returned slice must not be modified.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Append adds a row. It returns an error if the tuple width does not match
+// the schema.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple has %d cells, schema has %d", r.Name, len(t), r.schema.Len())
+	}
+	r.rows = append(r.rows, t)
+	r.dropIndexes() // stale after mutation; rebuild with BuildIndex
+	return nil
+}
+
+// MustAppend is Append but panics on error; for tests and generators whose
+// width is statically correct.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (r *Relation) Grow(n int) {
+	if need := len(r.rows) + n; need > cap(r.rows) {
+		rows := make([]Tuple, len(r.rows), need)
+		copy(rows, r.rows)
+		r.rows = rows
+	}
+}
+
+// Select returns the indices of all rows satisfying pred, in row order.
+// A nil predicate selects every row. When a secondary index covers one of
+// the predicate's conjuncts, the scan is restricted to the index's
+// candidates (the result is identical either way).
+func (r *Relation) Select(pred Predicate) []int {
+	if pred == nil {
+		out := make([]int, len(r.rows))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if cands, ok := r.candidates(pred); ok {
+		out := make([]int, 0, len(cands))
+		for _, i := range cands {
+			if pred.Matches(r.schema, r.rows[i]) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, len(r.rows)/4+1)
+	for i, t := range r.rows {
+		if pred.Matches(r.schema, t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DistinctStrings returns the distinct categorical values of attribute attr
+// among the rows named by idx, sorted lexicographically. It returns an error
+// if attr is missing or not categorical.
+func (r *Relation) DistinctStrings(attr string, idx []int) ([]string, error) {
+	pos, ok := r.schema.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.Name, attr)
+	}
+	if r.schema.Attr(pos).Type != Categorical {
+		return nil, fmt.Errorf("relation %s: attribute %q is not categorical", r.Name, attr)
+	}
+	seen := make(map[string]struct{})
+	for _, i := range idx {
+		seen[r.rows[i][pos].Str] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NumRange returns the min and max numeric value of attribute attr among the
+// rows named by idx. ok is false when idx is empty or attr is not numeric.
+func (r *Relation) NumRange(attr string, idx []int) (lo, hi float64, ok bool) {
+	pos, found := r.schema.Lookup(attr)
+	if !found || r.schema.Attr(pos).Type != Numeric || len(idx) == 0 {
+		return 0, 0, false
+	}
+	lo = r.rows[idx[0]][pos].Num
+	hi = lo
+	for _, i := range idx[1:] {
+		v := r.rows[i][pos].Num
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,85 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/category"
+)
+
+// DOTOptions controls Graphviz export.
+type DOTOptions struct {
+	// MaxDepth limits exported levels; 0 means all.
+	MaxDepth int
+	// MaxChildren limits children per node; elided subtrees become one
+	// summary node. 0 means all.
+	MaxChildren int
+	// ShowProbabilities appends P/Pw to node labels.
+	ShowProbabilities bool
+}
+
+// DOT writes the category tree as a Graphviz digraph — the hand-off point to
+// the visualization step the paper positions after categorization (§2:
+// "given the category structure proposed in this paper, we can use
+// visualization techniques … to visually display the tree").
+func DOT(w io.Writer, t *category.Tree, opts DOTOptions) error {
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	write("digraph categorization {\n")
+	write("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var rec func(n *category.Node, depth int) int
+	rec = func(n *category.Node, depth int) int {
+		me := id
+		id++
+		label := fmt.Sprintf("%s\\n%d tuples", dotEscape(n.Label.String()), n.Size())
+		if opts.ShowProbabilities && n.Label.Kind != category.LabelAll {
+			label += fmt.Sprintf("\\nP=%.2f", n.P)
+		}
+		write("  n%d [label=\"%s\"];\n", me, label)
+		if n.IsLeaf() {
+			return me
+		}
+		if opts.MaxDepth > 0 && depth+1 > opts.MaxDepth {
+			write("  n%d [label=\"… %d subcategories\", style=dashed];\n", id, len(n.Children))
+			write("  n%d -> n%d;\n", me, id)
+			id++
+			return me
+		}
+		limit := len(n.Children)
+		if opts.MaxChildren > 0 && limit > opts.MaxChildren {
+			limit = opts.MaxChildren
+		}
+		for _, c := range n.Children[:limit] {
+			child := rec(c, depth+1)
+			write("  n%d -> n%d;\n", me, child)
+		}
+		if limit < len(n.Children) {
+			write("  n%d [label=\"… %d more categories\", style=dashed];\n", id, len(n.Children)-limit)
+			write("  n%d -> n%d;\n", me, id)
+			id++
+		}
+		return me
+	}
+	rec(t.Root, 0)
+	write("}\n")
+	return err
+}
+
+// DOTString renders the tree to a Graphviz string.
+func DOTString(t *category.Tree, opts DOTOptions) string {
+	var b strings.Builder
+	_ = DOT(&b, t, opts) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,216 @@
+package render
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/category"
+	"repro/internal/relation"
+)
+
+func sampleTree(t *testing.T) *category.Tree {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "hood", Type: relation.Categorical},
+		relation.Attribute{Name: "price", Type: relation.Numeric},
+	)
+	r := relation.New("T", schema)
+	for i := 0; i < 6; i++ {
+		hood := "A"
+		if i >= 3 {
+			hood = "B"
+		}
+		r.MustAppend(relation.Tuple{relation.StringValue(hood), relation.NumberValue(float64(100 + i))})
+	}
+	a := &category.Node{Label: category.Label{Kind: category.LabelValue, Attr: "hood", Value: "A"}, Tset: []int{0, 1, 2}, P: 0.7, Pw: 1}
+	b := &category.Node{Label: category.Label{Kind: category.LabelValue, Attr: "hood", Value: "B"}, Tset: []int{3, 4, 5}, P: 0.2, Pw: 1}
+	root := &category.Node{Label: category.Label{Kind: category.LabelAll}, Children: []*category.Node{a, b},
+		Tset: []int{0, 1, 2, 3, 4, 5}, SubAttr: "hood", P: 1, Pw: 0.3}
+	return &category.Tree{Root: root, R: r, K: 1, LevelAttrs: []string{"hood"}}
+}
+
+func TestTreeString(t *testing.T) {
+	out := TreeString(sampleTree(t), TreeOptions{})
+	for _, want := range []string{"ALL (6)", "hood: A (3)", "hood: B (3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "P=") {
+		t.Error("probabilities shown without ShowProbabilities")
+	}
+}
+
+func TestTreeProbabilities(t *testing.T) {
+	out := TreeString(sampleTree(t), TreeOptions{ShowProbabilities: true})
+	if !strings.Contains(out, "P=0.700") || !strings.Contains(out, "Pw=0.300") {
+		t.Errorf("probabilities missing:\n%s", out)
+	}
+}
+
+func TestTreeMaxChildren(t *testing.T) {
+	out := TreeString(sampleTree(t), TreeOptions{MaxChildren: 1})
+	if !strings.Contains(out, "… 1 more categories") {
+		t.Errorf("elision marker missing:\n%s", out)
+	}
+	if strings.Contains(out, "hood: B") {
+		t.Errorf("second child should be elided:\n%s", out)
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	out := TreeString(sampleTree(t), TreeOptions{MaxDepth: 0})
+	if !strings.Contains(out, "hood: A") {
+		t.Error("depth 0 option should mean unlimited")
+	}
+	tree := sampleTree(t)
+	// Add a second level under A to exercise the cut.
+	a := tree.Root.Children[0]
+	a.SubAttr = "price"
+	a.Children = []*category.Node{
+		{Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 100, Hi: 103, HiInc: true}, Tset: []int{0, 1, 2}, P: 1, Pw: 1},
+	}
+	out = TreeString(tree, TreeOptions{MaxDepth: 1})
+	if !strings.Contains(out, "… 1 subcategories") {
+		t.Errorf("MaxDepth cut marker missing:\n%s", out)
+	}
+	if strings.Contains(out, "price: 100-103") {
+		t.Errorf("level 2 should be hidden:\n%s", out)
+	}
+}
+
+func TestTreeShowTuples(t *testing.T) {
+	out := TreeString(sampleTree(t), TreeOptions{ShowTuples: true, MaxTuples: 2})
+	if !strings.Contains(out, "hood=A") {
+		t.Errorf("tuples missing:\n%s", out)
+	}
+	if !strings.Contains(out, "· … 1 more") {
+		t.Errorf("tuple elision missing:\n%s", out)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	tree := sampleTree(t)
+	s := RowString(tree.R, 0)
+	if !strings.Contains(s, "hood=A") || !strings.Contains(s, "price=100") {
+		t.Errorf("RowString = %q", s)
+	}
+}
+
+func TestRowStringTruncatesWideSchemas(t *testing.T) {
+	attrs := make([]relation.Attribute, 10)
+	tuple := make(relation.Tuple, 10)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{Name: strings.Repeat("a", i+1), Type: relation.Numeric}
+		tuple[i] = relation.NumberValue(float64(i))
+	}
+	r := relation.New("wide", relation.MustSchema(attrs...))
+	r.MustAppend(tuple)
+	s := RowString(r, 0)
+	if !strings.Contains(s, "…") {
+		t.Errorf("wide row not truncated: %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"Task", "Cost"}, [][]string{{"1", "17.1"}, {"2", "10.5"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Task") || !strings.Contains(lines[1], "----") {
+		t.Errorf("header malformed:\n%s", out)
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, []string{"A", "B"}, [][]string{{"only"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+// failWriter errors after n writes to exercise error propagation.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestTreeWriteError(t *testing.T) {
+	if err := Tree(&failWriter{}, sampleTree(t), TreeOptions{}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+}
+
+func TestTableWriteError(t *testing.T) {
+	if err := Table(&failWriter{n: 1}, []string{"A"}, [][]string{{"x"}}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := DOTString(sampleTree(t), DOTOptions{})
+	for _, want := range []string{
+		"digraph categorization {",
+		`label="ALL\n6 tuples"`,
+		`label="hood: A\n3 tuples"`,
+		"n0 -> n1;",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTProbabilitiesAndBounds(t *testing.T) {
+	tree := sampleTree(t)
+	a := tree.Root.Children[0]
+	a.SubAttr = "price"
+	a.Children = []*category.Node{
+		{Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 100, Hi: 103, HiInc: true},
+			Tset: []int{0, 1, 2}, P: 1, Pw: 1},
+	}
+	out := DOTString(tree, DOTOptions{ShowProbabilities: true, MaxDepth: 1, MaxChildren: 1})
+	if !strings.Contains(out, "P=0.70") {
+		t.Errorf("probabilities missing:\n%s", out)
+	}
+	if !strings.Contains(out, "… 1 more categories") {
+		t.Errorf("width elision missing:\n%s", out)
+	}
+	if !strings.Contains(out, "… 1 subcategories") {
+		t.Errorf("depth elision missing:\n%s", out)
+	}
+	if strings.Contains(out, "price: 100-103") {
+		t.Errorf("depth bound violated:\n%s", out)
+	}
+}
+
+func TestDOTEscapes(t *testing.T) {
+	tree := sampleTree(t)
+	tree.Root.Children[0].Label.Value = `A"quote\slash`
+	out := DOTString(tree, DOTOptions{})
+	if !strings.Contains(out, `A\"quote\\slash`) {
+		t.Errorf("escaping broken:\n%s", out)
+	}
+}
+
+func TestDOTWriteError(t *testing.T) {
+	if err := DOT(&failWriter{}, sampleTree(t), DOTOptions{}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+}

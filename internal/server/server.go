@@ -1,0 +1,334 @@
+// Package server exposes the categorizer as an HTTP/JSON service — the
+// web-facing shape of the paper's treeview application: a client POSTs a
+// SQL query and receives the categorized result tree, explores it, and can
+// turn any category path back into a refined query.
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness plus dataset/workload sizes
+//	GET  /v1/attributes  schema with per-attribute workload usage
+//	POST /v1/query       {"sql": …, "technique": …, …} → categorized tree
+//	POST /v1/refine      {"sql": …, "path": [0,2]} → refined SQL
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro"
+)
+
+// Config configures a Server.
+type Config struct {
+	// System is the query/categorization engine to serve. Required.
+	System *repro.System
+	// Options are the default categorizer parameters; per-request options
+	// override individual fields.
+	Options repro.Options
+	// MaxDepth / MaxChildren bound the JSON tree payload (0 = no bound).
+	MaxDepth    int
+	MaxChildren int
+	// Learn folds every served /v1/query into the workload statistics, so
+	// the system's trees adapt to its own query stream. Requires a System
+	// built from a raw workload.
+	Learn bool
+}
+
+// Server handles the HTTP API.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	adaptive *repro.AdaptiveSystem // non-nil when Learn is enabled
+	sessions *sessionTable
+}
+
+// New builds a Server. It errors when no System is configured, or when
+// Learn is requested on a system that cannot learn.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, errors.New("server: config requires a System")
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), sessions: newSessionTable()}
+	if cfg.Learn {
+		a, err := cfg.System.Adaptive()
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.adaptive = a
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/attributes", s.handleAttributes)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/op", s.handleSessionOp)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionStatus)
+	return s, nil
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the uniform error payload.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"status": "ok",
+		"rows":   s.cfg.System.Relation().Len(),
+	}
+	if s.adaptive != nil {
+		body["workloadQueries"] = s.adaptive.WorkloadSize()
+		body["learned"] = s.adaptive.Learned()
+	} else {
+		body["workloadQueries"] = s.cfg.System.Stats().N()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// attributeInfo is one /v1/attributes row.
+type attributeInfo struct {
+	Name          string  `json:"name"`
+	Type          string  `json:"type"`
+	UsageFraction float64 `json:"usageFraction"`
+}
+
+func (s *Server) handleAttributes(w http.ResponseWriter, _ *http.Request) {
+	sys := s.cfg.System
+	schema := sys.Relation().Schema()
+	out := make([]attributeInfo, 0, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		out = append(out, attributeInfo{
+			Name:          a.Name,
+			Type:          a.Type.String(),
+			UsageFraction: sys.Stats().UsageFraction(a.Name),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the /v1/query payload.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Technique: "cost-based" (default), "attr-cost", or "no-cost".
+	Technique string `json:"technique,omitempty"`
+	// M/K/X override the server's default categorizer options when > 0.
+	M int     `json:"m,omitempty"`
+	K float64 `json:"k,omitempty"`
+	X float64 `json:"x,omitempty"`
+	// MaxDepth / MaxChildren bound the returned tree (≤ server bounds).
+	MaxDepth    int `json:"maxDepth,omitempty"`
+	MaxChildren int `json:"maxChildren,omitempty"`
+}
+
+// treeNode is the JSON rendering of one category.
+type treeNode struct {
+	Label    string     `json:"label"`
+	Attr     string     `json:"attr,omitempty"`
+	Count    int        `json:"count"`
+	P        float64    `json:"p"`
+	Pw       float64    `json:"pw"`
+	Path     []int      `json:"path"`
+	Children []treeNode `json:"children,omitempty"`
+	// Elided counts children omitted due to depth/width bounds.
+	Elided int `json:"elided,omitempty"`
+}
+
+// queryResponse is the /v1/query result.
+type queryResponse struct {
+	ResultCount int      `json:"resultCount"`
+	Levels      []string `json:"levels"`
+	EstCostAll  float64  `json:"estCostAll"`
+	EstCostOne  float64  `json:"estCostOne"`
+	Categories  int      `json:"categories"`
+	Tree        treeNode `json:"tree"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	tech, err := parseTechnique(req.Technique)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := s.cfg.Options
+	if req.M > 0 {
+		opts.M = req.M
+	}
+	if req.K > 0 {
+		opts.K = req.K
+	}
+	if req.X > 0 {
+		opts.X = req.X
+	}
+	var (
+		tree        *repro.Tree
+		resultCount int
+	)
+	if s.adaptive != nil {
+		var err error
+		tree, resultCount, err = s.adaptive.Explore(req.SQL, tech, opts, true)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		res, err := s.cfg.System.Query(req.SQL)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		tree, err = res.CategorizeWith(tech, opts)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "categorization failed: %v", err)
+			return
+		}
+		resultCount = res.Len()
+	}
+	maxDepth := boundOrDefault(req.MaxDepth, s.cfg.MaxDepth)
+	maxChildren := boundOrDefault(req.MaxChildren, s.cfg.MaxChildren)
+	writeJSON(w, http.StatusOK, queryResponse{
+		ResultCount: resultCount,
+		Levels:      tree.LevelAttrs,
+		EstCostAll:  repro.EstimateCostAll(tree),
+		EstCostOne:  repro.EstimateCostOne(tree, 0.5),
+		Categories:  tree.NodeCount(),
+		Tree:        toJSONTree(tree.Root, nil, maxDepth, maxChildren),
+	})
+}
+
+// boundOrDefault combines the request bound with the server bound: the
+// request may only tighten.
+func boundOrDefault(req, def int) int {
+	if req <= 0 {
+		return def
+	}
+	if def > 0 && req > def {
+		return def
+	}
+	return req
+}
+
+func toJSONTree(n *repro.Node, path []int, maxDepth, maxChildren int) treeNode {
+	out := treeNode{
+		Label: n.Label.String(),
+		Attr:  n.Label.Attr,
+		Count: n.Size(),
+		P:     n.P,
+		Pw:    n.Pw,
+		Path:  append([]int(nil), path...),
+	}
+	if out.Path == nil {
+		out.Path = []int{}
+	}
+	if n.IsLeaf() {
+		return out
+	}
+	if maxDepth > 0 && len(path) >= maxDepth {
+		out.Elided = len(n.Children)
+		return out
+	}
+	limit := len(n.Children)
+	if maxChildren > 0 && limit > maxChildren {
+		limit = maxChildren
+		out.Elided = len(n.Children) - limit
+	}
+	for i := 0; i < limit; i++ {
+		out.Children = append(out.Children, toJSONTree(n.Children[i], append(path, i), maxDepth, maxChildren))
+	}
+	return out
+}
+
+// refineRequest is the /v1/refine payload.
+type refineRequest struct {
+	SQL  string `json:"sql"`
+	Path []int  `json:"path"`
+	// Technique/M/K/X must match the original /v1/query call for the path
+	// to address the same node.
+	Technique string  `json:"technique,omitempty"`
+	M         int     `json:"m,omitempty"`
+	K         float64 `json:"k,omitempty"`
+	X         float64 `json:"x,omitempty"`
+}
+
+// refineResponse carries the narrowed query.
+type refineResponse struct {
+	SQL         string `json:"sql"`
+	ResultCount int    `json:"resultCount"`
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	var req refineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	tech, err := parseTechnique(req.Technique)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.cfg.System.Query(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := s.cfg.Options
+	if req.M > 0 {
+		opts.M = req.M
+	}
+	if req.K > 0 {
+		opts.K = req.K
+	}
+	if req.X > 0 {
+		opts.X = req.X
+	}
+	tree, err := res.CategorizeWith(tech, opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "categorization failed: %v", err)
+		return
+	}
+	refined, err := tree.RefineQuery(res.Query, req.Path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, refineResponse{
+		SQL:         refined.String(),
+		ResultCount: len(s.cfg.System.Relation().Select(refined.Predicate())),
+	})
+}
+
+func parseTechnique(s string) (repro.Technique, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "cost-based", "cost", "costbased":
+		return repro.CostBased, nil
+	case "attr-cost", "attr", "attrcost":
+		return repro.AttrCost, nil
+	case "no-cost", "nocost", "no":
+		return repro.NoCost, nil
+	default:
+		return 0, fmt.Errorf("unknown technique %q (want cost-based, attr-cost, or no-cost)", s)
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro"
+	"repro/internal/session"
+)
+
+// Interactive sessions: the treeview workflow of §6.3 over HTTP. A client
+// creates a session for a query, then drives it with expand/collapse/
+// showtuples/click operations; the server keeps the §4.1 item accounting
+// and the §6.3-style operation log.
+
+// maxSessions bounds the in-memory session table; the oldest session is
+// evicted when the bound is hit.
+const maxSessions = 1024
+
+type liveSession struct {
+	sess *session.Session
+	tree *repro.Tree
+	sql  string
+}
+
+type sessionTable struct {
+	mu    sync.Mutex
+	byID  map[string]*liveSession
+	order []string
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{byID: map[string]*liveSession{}}
+}
+
+func (t *sessionTable) put(id string, s *liveSession) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.order) >= maxSessions {
+		oldest := t.order[0]
+		t.order = t.order[1:]
+		delete(t.byID, oldest)
+	}
+	t.byID[id] = s
+	t.order = append(t.order, id)
+}
+
+func (t *sessionTable) get(id string) (*liveSession, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.byID[id]
+	return s, ok
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for id generation; fall back
+		// to a counter-free constant would collide, so panic loudly.
+		panic(fmt.Sprintf("server: session id generation: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sessionCreateRequest starts an exploration.
+type sessionCreateRequest struct {
+	SQL       string  `json:"sql"`
+	Technique string  `json:"technique,omitempty"`
+	M         int     `json:"m,omitempty"`
+	K         float64 `json:"k,omitempty"`
+	X         float64 `json:"x,omitempty"`
+}
+
+type sessionCreateResponse struct {
+	ID          string   `json:"id"`
+	ResultCount int      `json:"resultCount"`
+	Levels      []string `json:"levels"`
+	RootLabels  []string `json:"rootLabels"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	tech, err := parseTechnique(req.Technique)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := s.cfg.Options
+	if req.M > 0 {
+		opts.M = req.M
+	}
+	if req.K > 0 {
+		opts.K = req.K
+	}
+	if req.X > 0 {
+		opts.X = req.X
+	}
+	var (
+		tree        *repro.Tree
+		resultCount int
+	)
+	if s.adaptive != nil {
+		tree, resultCount, err = s.adaptive.Explore(req.SQL, tech, opts, true)
+	} else {
+		var res *repro.Result
+		res, err = s.cfg.System.Query(req.SQL)
+		if err == nil {
+			tree, err = res.CategorizeWith(tech, opts)
+			if res != nil {
+				resultCount = res.Len()
+			}
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := session.New(tree, tree.K)
+	labels, err := sess.Expand(nil)
+	if err != nil {
+		// Trivial tree (root is a leaf): no labels, session still usable
+		// through showtuples on the root.
+		labels = nil
+	}
+	id := newSessionID()
+	s.sessions.put(id, &liveSession{sess: sess, tree: tree, sql: req.SQL})
+	writeJSON(w, http.StatusOK, sessionCreateResponse{
+		ID:          id,
+		ResultCount: resultCount,
+		Levels:      tree.LevelAttrs,
+		RootLabels:  labels,
+	})
+}
+
+// sessionOpRequest applies one treeview operation.
+type sessionOpRequest struct {
+	Op   string `json:"op"` // expand | collapse | showtuples | click
+	Path []int  `json:"path,omitempty"`
+	Row  int    `json:"row,omitempty"`
+}
+
+type sessionOpResponse struct {
+	Labels  []string        `json:"labels,omitempty"`
+	Rows    []int           `json:"rows,omitempty"`
+	Summary session.Summary `json:"summary"`
+}
+
+func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
+	live, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var req sessionOpRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	resp := sessionOpResponse{}
+	var err error
+	switch req.Op {
+	case "expand":
+		resp.Labels, err = live.sess.Expand(req.Path)
+	case "collapse":
+		err = live.sess.Collapse(req.Path)
+	case "showtuples":
+		resp.Rows, err = live.sess.ShowTuples(req.Path)
+	case "click":
+		err = live.sess.MarkRelevant(req.Row)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown op %q (want expand, collapse, showtuples, or click)", req.Op)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp.Summary = live.sess.Summary()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionStatusResponse reports a session's log and measurements.
+type sessionStatusResponse struct {
+	SQL      string          `json:"sql"`
+	Summary  session.Summary `json:"summary"`
+	Relevant []int           `json:"relevant"`
+	Log      []sessionLogOp  `json:"log"`
+}
+
+type sessionLogOp struct {
+	Seq  int    `json:"seq"`
+	Op   string `json:"op"`
+	Path []int  `json:"path,omitempty"`
+	Row  int    `json:"row,omitempty"`
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	live, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	log := live.sess.Log()
+	out := sessionStatusResponse{
+		SQL:      live.sql,
+		Summary:  live.sess.Summary(),
+		Relevant: live.sess.Relevant(),
+		Log:      make([]sessionLogOp, len(log)),
+	}
+	for i, op := range log {
+		out.Log[i] = sessionLogOp{Seq: op.Seq, Op: op.Kind.String(), Path: op.Path, Row: op.Row}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,239 @@
+// Package session implements the interactive side of the paper's treeview
+// client (§6.3): a stateful exploration of one category tree that records
+// every expand/collapse/show-tuples/click operation — exactly the log the
+// study recorded ("the click/expand/collapse operations on the treeview
+// nodes and the clicks on the data tuples") — while keeping a running count
+// of the items the user has examined.
+//
+// Accounting follows the exploration models of §3.2: expanding a node
+// examines the labels of all its subcategories (option SHOWCAT), showing a
+// node's tuples examines all of them (option SHOWTUPLES). Repeating an
+// operation on the same node does not double-count — the user has already
+// read those items.
+package session
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/category"
+)
+
+// OpKind enumerates the treeview operations.
+type OpKind int
+
+const (
+	// OpExpand reveals a node's subcategory labels (SHOWCAT).
+	OpExpand OpKind = iota
+	// OpCollapse hides a node's subtree (no cost; recorded for the log).
+	OpCollapse
+	// OpShowTuples lists a node's tuples (SHOWTUPLES).
+	OpShowTuples
+	// OpMarkRelevant records a click on a data tuple.
+	OpMarkRelevant
+)
+
+// String names the operation as the study logs did.
+func (k OpKind) String() string {
+	switch k {
+	case OpExpand:
+		return "expand"
+	case OpCollapse:
+		return "collapse"
+	case OpShowTuples:
+		return "showtuples"
+	case OpMarkRelevant:
+		return "click"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one logged operation.
+type Op struct {
+	Seq  int
+	Kind OpKind
+	// Path addresses the node (child indexes from the root); empty for the
+	// root. Unused for OpMarkRelevant.
+	Path []int
+	// Row is the clicked tuple for OpMarkRelevant.
+	Row int
+}
+
+// Summary is the running measurement of the exploration.
+type Summary struct {
+	LabelsExamined int
+	TuplesExamined int
+	RelevantFound  int
+	Ops            int
+	// Cost is tuples + K·labels, the §4.1 item count.
+	Cost float64
+}
+
+// Session is one user's exploration of one tree. Safe for concurrent use.
+type Session struct {
+	mu   sync.Mutex
+	tree *category.Tree
+	k    float64
+
+	ops        []Op
+	expanded   map[string]bool
+	labelsSeen map[string]bool // nodes whose children labels were examined
+	tuplesSeen map[string]bool // nodes whose tuples were examined
+	shown      map[int]bool    // rows currently revealed by some OpShowTuples
+	relevant   map[int]bool
+
+	labels, tuples int
+}
+
+// New starts a session over the tree with label cost k (use the tree's K).
+func New(tree *category.Tree, k float64) *Session {
+	return &Session{
+		tree:       tree,
+		k:          k,
+		expanded:   map[string]bool{},
+		labelsSeen: map[string]bool{},
+		tuplesSeen: map[string]bool{},
+		shown:      map[int]bool{},
+		relevant:   map[int]bool{},
+	}
+}
+
+func pathKey(path []int) string {
+	if len(path) == 0 {
+		return "/"
+	}
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, "/")
+}
+
+// node resolves a path, or errors.
+func (s *Session) node(path []int) (*category.Node, error) {
+	n := s.tree.Root
+	for step, i := range path {
+		if i < 0 || i >= len(n.Children) {
+			return nil, fmt.Errorf("session: path step %d (%d) out of range (node %q has %d children)",
+				step, i, n.Label, len(n.Children))
+		}
+		n = n.Children[i]
+	}
+	return n, nil
+}
+
+// Expand reveals the node's subcategory labels. The first expansion of a
+// node charges K per child label.
+func (s *Session) Expand(path []int) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.node(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.IsLeaf() {
+		return nil, fmt.Errorf("session: cannot expand leaf category %q", n.Label)
+	}
+	key := pathKey(path)
+	s.expanded[key] = true
+	if !s.labelsSeen[key] {
+		s.labelsSeen[key] = true
+		s.labels += len(n.Children)
+	}
+	s.ops = append(s.ops, Op{Seq: len(s.ops), Kind: OpExpand, Path: append([]int(nil), path...)})
+	labels := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		labels[i] = fmt.Sprintf("%s (%d)", c.Label, c.Size())
+	}
+	return labels, nil
+}
+
+// Collapse hides an expanded node. Free: the labels were already read.
+func (s *Session) Collapse(path []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.node(path); err != nil {
+		return err
+	}
+	key := pathKey(path)
+	if !s.expanded[key] {
+		return fmt.Errorf("session: node %s is not expanded", key)
+	}
+	delete(s.expanded, key)
+	s.ops = append(s.ops, Op{Seq: len(s.ops), Kind: OpCollapse, Path: append([]int(nil), path...)})
+	return nil
+}
+
+// ShowTuples lists the node's tuple rows. The first showing of a node
+// charges every tuple in its tset.
+func (s *Session) ShowTuples(path []int) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.node(path)
+	if err != nil {
+		return nil, err
+	}
+	key := pathKey(path)
+	if !s.tuplesSeen[key] {
+		s.tuplesSeen[key] = true
+		s.tuples += n.Size()
+	}
+	for _, row := range n.Tset {
+		s.shown[row] = true
+	}
+	s.ops = append(s.ops, Op{Seq: len(s.ops), Kind: OpShowTuples, Path: append([]int(nil), path...)})
+	return append([]int(nil), n.Tset...), nil
+}
+
+// MarkRelevant records a click on a revealed tuple.
+func (s *Session) MarkRelevant(row int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.shown[row] {
+		return fmt.Errorf("session: tuple %d has not been shown", row)
+	}
+	s.relevant[row] = true
+	s.ops = append(s.ops, Op{Seq: len(s.ops), Kind: OpMarkRelevant, Row: row})
+	return nil
+}
+
+// Summary returns the running measurements.
+func (s *Session) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Summary{
+		LabelsExamined: s.labels,
+		TuplesExamined: s.tuples,
+		RelevantFound:  len(s.relevant),
+		Ops:            len(s.ops),
+		Cost:           float64(s.tuples) + s.k*float64(s.labels),
+	}
+}
+
+// Log returns a copy of the operation log.
+func (s *Session) Log() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.ops...)
+}
+
+// Relevant returns the clicked rows.
+func (s *Session) Relevant() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.relevant))
+	for row := range s.relevant {
+		out = append(out, row)
+	}
+	return out
+}
+
+// Expanded reports whether the node at path is currently expanded.
+func (s *Session) Expanded(path []int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expanded[pathKey(path)]
+}

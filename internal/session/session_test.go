@@ -1,0 +1,205 @@
+package session
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/category"
+	"repro/internal/relation"
+)
+
+// fixture builds the Figure 1 shaped two-level tree over 9 tuples.
+func fixture(t *testing.T) *category.Tree {
+	t.Helper()
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "neighborhood", Type: relation.Categorical},
+		relation.Attribute{Name: "price", Type: relation.Numeric},
+	)
+	r := relation.New("T", schema)
+	hoods := []string{"Bellevue, WA", "Bellevue, WA", "Bellevue, WA", "Bellevue, WA",
+		"Redmond, WA", "Redmond, WA", "Redmond, WA", "Seattle, WA", "Seattle, WA"}
+	prices := []float64{210000, 240000, 260000, 290000, 220000, 250000, 280000, 230000, 270000}
+	for i := range hoods {
+		r.MustAppend(relation.Tuple{relation.StringValue(hoods[i]), relation.NumberValue(prices[i])})
+	}
+	lo := &category.Node{Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 200000, Hi: 250000},
+		Tset: []int{0, 1}, P: 0.5, Pw: 1}
+	hi := &category.Node{Label: category.Label{Kind: category.LabelRange, Attr: "price", Lo: 250000, Hi: 300000, HiInc: true},
+		Tset: []int{2, 3}, P: 0.5, Pw: 1}
+	bellevue := &category.Node{Label: category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Bellevue, WA"},
+		Children: []*category.Node{lo, hi}, Tset: []int{0, 1, 2, 3}, SubAttr: "price", P: 0.6, Pw: 0.4}
+	redmond := &category.Node{Label: category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Redmond, WA"},
+		Tset: []int{4, 5, 6}, P: 0.3, Pw: 1}
+	seattle := &category.Node{Label: category.Label{Kind: category.LabelValue, Attr: "neighborhood", Value: "Seattle, WA"},
+		Tset: []int{7, 8}, P: 0.1, Pw: 1}
+	root := &category.Node{Label: category.Label{Kind: category.LabelAll},
+		Children: []*category.Node{bellevue, redmond, seattle},
+		Tset:     []int{0, 1, 2, 3, 4, 5, 6, 7, 8}, SubAttr: "neighborhood", P: 1, Pw: 0.2}
+	tree := &category.Tree{Root: root, R: r, K: 1, LevelAttrs: []string{"neighborhood", "price"}}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestExample31Accounting replays the paper's Example 3.1/4.1 exploration
+// and checks the item accounting: 3 labels at the root, 2+1 labels under
+// the first hood (fixture has 2 price buckets), then the tuples of one
+// bucket.
+func TestExample31Accounting(t *testing.T) {
+	s := New(fixture(t), 1)
+	labels, err := s.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || !strings.HasPrefix(labels[0], "neighborhood: Bellevue") {
+		t.Fatalf("root labels = %v", labels)
+	}
+	if _, err := s.Expand([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.ShowTuples([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("bucket rows = %v", rows)
+	}
+	sum := s.Summary()
+	// 3 root labels + 2 bucket labels + 2 tuples = cost 7.
+	if sum.LabelsExamined != 5 || sum.TuplesExamined != 2 || sum.Cost != 7 {
+		t.Fatalf("summary = %+v; want 5 labels, 2 tuples, cost 7", sum)
+	}
+}
+
+func TestRepeatOperationsDoNotDoubleCount(t *testing.T) {
+	s := New(fixture(t), 1)
+	if _, err := s.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Collapse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ShowTuples([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ShowTuples([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if sum.LabelsExamined != 3 || sum.TuplesExamined != 3 {
+		t.Fatalf("summary = %+v; re-reading must be free", sum)
+	}
+	if sum.Ops != 5 {
+		t.Fatalf("ops = %d; every operation must be logged", sum.Ops)
+	}
+}
+
+func TestMarkRelevantRequiresShown(t *testing.T) {
+	s := New(fixture(t), 1)
+	if err := s.MarkRelevant(4); err == nil {
+		t.Fatal("clicking an unshown tuple must fail")
+	}
+	if _, err := s.ShowTuples([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRelevant(4); err != nil {
+		t.Fatalf("MarkRelevant: %v", err)
+	}
+	if err := s.MarkRelevant(4); err != nil {
+		t.Fatalf("re-clicking: %v", err)
+	}
+	if got := s.Summary().RelevantFound; got != 1 {
+		t.Fatalf("RelevantFound = %d; duplicate clicks must not double-count", got)
+	}
+	if rows := s.Relevant(); len(rows) != 1 || rows[0] != 4 {
+		t.Fatalf("Relevant = %v", rows)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := New(fixture(t), 1)
+	if _, err := s.Expand([]int{99}); err == nil {
+		t.Error("bad path should error")
+	}
+	if _, err := s.Expand([]int{1}); err == nil {
+		t.Error("expanding a leaf should error")
+	}
+	if err := s.Collapse(nil); err == nil {
+		t.Error("collapsing an unexpanded node should error")
+	}
+	if _, err := s.ShowTuples([]int{0, 9}); err == nil {
+		t.Error("bad nested path should error")
+	}
+}
+
+func TestExpandedStateAndLog(t *testing.T) {
+	s := New(fixture(t), 1)
+	if s.Expanded(nil) {
+		t.Fatal("root should start collapsed")
+	}
+	if _, err := s.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Expanded(nil) {
+		t.Fatal("root should be expanded")
+	}
+	if err := s.Collapse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Expanded(nil) {
+		t.Fatal("root should be collapsed again")
+	}
+	log := s.Log()
+	if len(log) != 2 || log[0].Kind != OpExpand || log[1].Kind != OpCollapse {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[0].Seq != 0 || log[1].Seq != 1 {
+		t.Fatalf("sequence numbers wrong: %+v", log)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpExpand: "expand", OpCollapse: "collapse",
+		OpShowTuples: "showtuples", OpMarkRelevant: "click",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q; want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(OpKind(9).String(), "9") {
+		t.Error("unknown op kind should render its number")
+	}
+}
+
+func TestSessionConcurrent(t *testing.T) {
+	s := New(fixture(t), 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 3 {
+				case 0:
+					_, _ = s.Expand(nil)
+				case 1:
+					_, _ = s.ShowTuples([]int{g % 3})
+				default:
+					s.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sum := s.Summary()
+	if sum.LabelsExamined != 3 {
+		t.Fatalf("labels = %d; want 3 (single charge)", sum.LabelsExamined)
+	}
+}

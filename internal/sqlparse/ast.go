@@ -1,0 +1,281 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Query is a parsed SPJ selection query: SELECT columns FROM table WHERE
+// conjunction of per-attribute conditions. Conditions are normalized so each
+// attribute appears at most once (multiple comparisons on one numeric
+// attribute merge into a single interval; multiple IN lists intersect).
+type Query struct {
+	Table   string
+	Columns []string // nil means '*'
+	// Conds holds the normalized conditions in first-appearance order.
+	Conds []*Condition
+}
+
+// Condition is a selection condition on a single attribute: either a
+// categorical membership set (IsRange false) or a numeric interval
+// (IsRange true). Interval bounds follow the paper's convention
+// vmin ≤ A ≤ vmax; strict bounds from </> comparisons are preserved.
+type Condition struct {
+	Attr    string
+	IsRange bool
+
+	// Categorical membership, in first-appearance order, deduplicated.
+	Values []string
+
+	// Numeric interval.
+	Lo, Hi             float64
+	LoSet, HiSet       bool
+	LoStrict, HiStrict bool
+}
+
+// Cond returns the condition on the named attribute (case-insensitive), or
+// nil when the query has none.
+func (q *Query) Cond(attr string) *Condition {
+	for _, c := range q.Conds {
+		if strings.EqualFold(c.Attr, attr) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Attrs returns the attribute names that carry selection conditions, in
+// first-appearance order.
+func (q *Query) Attrs() []string {
+	out := make([]string, len(q.Conds))
+	for i, c := range q.Conds {
+		out[i] = c.Attr
+	}
+	return out
+}
+
+// Predicate converts the query's WHERE clause into an executable predicate
+// over a relation. An empty WHERE clause yields a predicate matching all
+// tuples.
+func (q *Query) Predicate() relation.Predicate {
+	preds := make([]relation.Predicate, 0, len(q.Conds))
+	for _, c := range q.Conds {
+		preds = append(preds, c.Predicate())
+	}
+	return relation.NewAnd(preds...)
+}
+
+// String renders the query back to SQL in the dialect this package parses;
+// Parse(q.String()) reproduces q (see the round-trip property test).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Columns) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.Table)
+	if len(q.Conds) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(q.Conds))
+		for i, c := range q.Conds {
+			parts[i] = c.String()
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	out := &Query{Table: q.Table}
+	if q.Columns != nil {
+		out.Columns = append([]string(nil), q.Columns...)
+	}
+	for _, c := range q.Conds {
+		cc := *c
+		cc.Values = append([]string(nil), c.Values...)
+		out.Conds = append(out.Conds, &cc)
+	}
+	return out
+}
+
+// RemoveCond deletes the condition on the named attribute, if present, and
+// reports whether one was removed.
+func (q *Query) RemoveCond(attr string) bool {
+	for i, c := range q.Conds {
+		if strings.EqualFold(c.Attr, attr) {
+			q.Conds = append(q.Conds[:i], q.Conds[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetCond replaces (or appends) the condition on cond.Attr.
+func (q *Query) SetCond(cond *Condition) {
+	for i, c := range q.Conds {
+		if strings.EqualFold(c.Attr, cond.Attr) {
+			q.Conds[i] = cond
+			return
+		}
+	}
+	q.Conds = append(q.Conds, cond)
+}
+
+// Predicate converts the condition into an executable relation predicate.
+func (c *Condition) Predicate() relation.Predicate {
+	if !c.IsRange {
+		return relation.NewIn(c.Attr, c.Values...)
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if c.LoSet {
+		lo = c.Lo
+	}
+	if c.HiSet {
+		hi = c.Hi
+	}
+	r := &relation.Range{Attr: c.Attr, Lo: lo, Hi: hi, HiInc: c.HiSet && !c.HiStrict}
+	if c.LoSet && c.LoStrict {
+		// relation.Range has an inclusive lower bound; nudge by the smallest
+		// representable step to approximate strictness. Workload semantics
+		// only need overlap tests, for which this is exact on our integer
+		// domains.
+		r.Lo = math.Nextafter(c.Lo, math.Inf(1))
+	}
+	return r
+}
+
+// Interval returns the condition's numeric interval as [lo, hi] with ±Inf
+// for absent bounds. It is only meaningful when IsRange is true.
+func (c *Condition) Interval() (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if c.LoSet {
+		lo = c.Lo
+	}
+	if c.HiSet {
+		hi = c.Hi
+	}
+	return lo, hi
+}
+
+// OverlapsValues reports whether the categorical condition shares at least
+// one member with set. Only meaningful when IsRange is false.
+func (c *Condition) OverlapsValues(set map[string]struct{}) bool {
+	for _, v := range c.Values {
+		if _, ok := set[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapsInterval reports whether the numeric condition's interval
+// intersects the half-open label bucket [lo, hi), per the paper's overlap
+// definition for numeric attributes. An empty bucket (hi ≤ lo) overlaps
+// nothing.
+func (c *Condition) OverlapsInterval(lo, hi float64) bool {
+	if hi <= lo {
+		return false
+	}
+	clo, chi := c.Interval()
+	if c.LoStrict {
+		clo = math.Nextafter(clo, math.Inf(1))
+	}
+	if c.HiStrict {
+		chi = math.Nextafter(chi, math.Inf(-1))
+	}
+	// [clo, chi] ∩ [lo, hi) ≠ ∅
+	return clo < hi && chi >= lo
+}
+
+// SortedValues returns the membership set sorted lexicographically.
+func (c *Condition) SortedValues() []string {
+	out := append([]string(nil), c.Values...)
+	sort.Strings(out)
+	return out
+}
+
+// String renders the condition in parseable SQL.
+func (c *Condition) String() string {
+	if !c.IsRange {
+		quoted := make([]string, len(c.Values))
+		for i, v := range c.Values {
+			quoted[i] = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+		}
+		if len(quoted) == 1 {
+			return fmt.Sprintf("%s = %s", c.Attr, quoted[0])
+		}
+		return fmt.Sprintf("%s IN (%s)", c.Attr, strings.Join(quoted, ", "))
+	}
+	var parts []string
+	if c.LoSet && c.HiSet && !c.LoStrict && !c.HiStrict {
+		if c.Lo == c.Hi {
+			return fmt.Sprintf("%s = %s", c.Attr, fmtNum(c.Lo))
+		}
+		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Attr, fmtNum(c.Lo), fmtNum(c.Hi))
+	}
+	if c.LoSet {
+		op := ">="
+		if c.LoStrict {
+			op = ">"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", c.Attr, op, fmtNum(c.Lo)))
+	}
+	if c.HiSet {
+		op := "<="
+		if c.HiStrict {
+			op = "<"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", c.Attr, op, fmtNum(c.Hi)))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Merge folds another condition on the same attribute into c (conjunction
+// semantics): IN sets intersect; intervals intersect. It errors when the
+// conditions are of different kinds.
+func (c *Condition) Merge(other *Condition) error { return c.merge(other) }
+
+// merge folds another condition on the same attribute into c (conjunction
+// semantics): IN sets intersect; intervals intersect.
+func (c *Condition) merge(other *Condition) error {
+	if c.IsRange != other.IsRange {
+		return fmt.Errorf("sqlparse: conflicting condition kinds on attribute %q", c.Attr)
+	}
+	if !c.IsRange {
+		keep := make(map[string]struct{}, len(other.Values))
+		for _, v := range other.Values {
+			keep[v] = struct{}{}
+		}
+		out := c.Values[:0]
+		for _, v := range c.Values {
+			if _, ok := keep[v]; ok {
+				out = append(out, v)
+			}
+		}
+		c.Values = out
+		return nil
+	}
+	if other.LoSet && (!c.LoSet || other.Lo > c.Lo || (other.Lo == c.Lo && other.LoStrict)) {
+		c.Lo, c.LoSet, c.LoStrict = other.Lo, true, other.LoStrict
+	}
+	if other.HiSet && (!c.HiSet || other.Hi < c.Hi || (other.Hi == c.Hi && other.HiStrict)) {
+		c.Hi, c.HiSet, c.HiStrict = other.Hi, true, other.HiStrict
+	}
+	return nil
+}
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

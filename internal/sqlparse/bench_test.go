@@ -1,0 +1,24 @@
+package sqlparse
+
+import "testing"
+
+// BenchmarkParse measures parsing a representative workload query.
+func BenchmarkParse(b *testing.B) {
+	src := "SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA','Redmond, WA','Kirkland, WA') " +
+		"AND price BETWEEN 200000 AND 300000 AND bedroomcount >= 3 AND propertytype IN ('Condo')"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryString measures rendering back to SQL.
+func BenchmarkQueryString(b *testing.B) {
+	q := MustParse("SELECT * FROM T WHERE n IN ('a','b','c') AND p BETWEEN 1 AND 2 AND q >= 5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.String()
+	}
+}

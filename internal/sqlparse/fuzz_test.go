@@ -1,0 +1,57 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary bytes: Parse must
+// never panic, and everything it accepts must round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM ListProperty",
+		"SELECT * FROM T WHERE a IN ('x','y') AND p BETWEEN 1 AND 2",
+		"SELECT a, b FROM T WHERE p >= 100 AND p < 200",
+		"select * from t where n = 'O''Brien'",
+		"SELECT * FROM T WHERE p IN (1, 2, 3)",
+		"SELECT * FROM T WHERE p <> 5",
+		"SELECT * FROM T WHERE p BETWEEN -5 AND 5;",
+		"SELECT * FROM T WHERE x = 'unterminated",
+		"SELECT * FROM T WHERE \x00 = 1",
+		strings.Repeat("SELECT ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := q.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendered form %q does not parse: %v", src, rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("String not a fixpoint: %q -> %q", rendered, back.String())
+		}
+	})
+}
+
+// FuzzConditionOverlap checks the interval overlap helper for panics and
+// symmetry-adjacent sanity on arbitrary numeric inputs.
+func FuzzConditionOverlap(f *testing.F) {
+	f.Add(0.0, 10.0, 5.0, 15.0)
+	f.Add(-1.0, 1.0, 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, cLo, cHi, lo, hi float64) {
+		if cHi < cLo {
+			cLo, cHi = cHi, cLo
+		}
+		c := &Condition{Attr: "p", IsRange: true, Lo: cLo, LoSet: true, Hi: cHi, HiSet: true}
+		got := c.OverlapsInterval(lo, hi)
+		if hi <= lo && got {
+			t.Fatalf("empty bucket [%v,%v) cannot overlap", lo, hi)
+		}
+	})
+}

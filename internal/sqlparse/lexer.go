@@ -1,0 +1,203 @@
+// Package sqlparse parses the SPJ SQL dialect found in the workload logs the
+// categorizer learns from: SELECT queries over a single wide table with a
+// WHERE clause that is a conjunction of per-attribute selection conditions
+// (IN lists, equality, comparisons, BETWEEN). The paper's technique needs
+// exactly this much SQL: it mines logged query strings for the attributes
+// and values users filter on.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <> < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokStar:
+		return "'*'"
+	case tokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // identifier/keyword text, operator, or decoded string literal
+	pos  int
+}
+
+// lexer scans an input SQL string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lex tokenizes src, returning the token stream or a lexical error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokOp, text: "<>", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case c == '\'':
+		return l.stringLit()
+	case c >= '0' && c <= '9' || c == '.' || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.number()
+	case isIdentStart(c):
+		return l.ident()
+	default:
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, start)
+	}
+}
+
+// stringLit scans a single-quoted SQL string; ” escapes a quote.
+func (l *lexer) stringLit() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if text == "-" || text == "." || text == "-." {
+		return token{}, fmt.Errorf("sqlparse: malformed number at offset %d", start)
+	}
+	return token{kind: tokNumber, text: text, pos: start}, nil
+}
+
+func (l *lexer) ident() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || isDigit(c) || unicode.IsLetter(rune(c))
+}

@@ -1,0 +1,290 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL SELECT statement in the workload dialect:
+//
+//	SELECT * | col[, col…]
+//	FROM table
+//	[WHERE cond [AND cond]…]
+//
+// where each cond is one of
+//
+//	attr IN ('v1' [, 'v2'…])        — categorical membership
+//	attr IN (n1 [, n2…])            — numeric membership (folded to [min,max])
+//	attr = 'v' | attr = n
+//	attr BETWEEN n1 AND n2
+//	attr < n | attr <= n | attr > n | attr >= n
+//
+// Conditions on the same attribute are merged conjunctively. A trailing
+// semicolon is permitted.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, fmt.Errorf("sqlparse: %w (in %q)", err, truncate(src, 120))
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes an identifier token equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("expected %s at offset %d, found %s", strings.ToUpper(kw), t.pos, describe(t))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) query() (*Query, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.peek().kind == tokStar {
+		p.advance()
+	} else {
+		for {
+			t := p.advance()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("expected column name at offset %d, found %s", t.pos, describe(t))
+			}
+			q.Columns = append(q.Columns, t.text)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("expected table name at offset %d, found %s", t.pos, describe(t))
+	}
+	q.Table = t.text
+	if p.isKeyword("WHERE") {
+		p.advance()
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			if existing := q.Cond(cond.Attr); existing != nil {
+				if err := existing.merge(cond); err != nil {
+					return nil, err
+				}
+			} else {
+				q.Conds = append(q.Conds, cond)
+			}
+			if !p.isKeyword("AND") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("unexpected %s at offset %d", describe(t), t.pos)
+	}
+	return q, nil
+}
+
+func (p *parser) condition() (*Condition, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("expected attribute name at offset %d, found %s", t.pos, describe(t))
+	}
+	attr := t.text
+	switch {
+	case p.isKeyword("IN"):
+		p.advance()
+		return p.inList(attr)
+	case p.isKeyword("BETWEEN"):
+		p.advance()
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		return &Condition{Attr: attr, IsRange: true, Lo: lo, LoSet: true, Hi: hi, HiSet: true}, nil
+	case p.peek().kind == tokOp:
+		op := p.advance().text
+		return p.comparison(attr, op)
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("expected IN, BETWEEN or comparison after %q at offset %d, found %s", attr, t.pos, describe(t))
+	}
+}
+
+// inList parses the parenthesized literal list of an IN condition. A list of
+// string literals yields a categorical membership set; a list of numbers is
+// folded into the interval [min, max] (the workload treats a discrete
+// numeric IN as interest in that span).
+func (p *parser) inList(attr string) (*Condition, error) {
+	if t := p.advance(); t.kind != tokLParen {
+		return nil, fmt.Errorf("expected '(' after IN at offset %d, found %s", t.pos, describe(t))
+	}
+	first := p.peek()
+	switch first.kind {
+	case tokString:
+		cond := &Condition{Attr: attr}
+		seen := make(map[string]struct{})
+		for {
+			t := p.advance()
+			if t.kind != tokString {
+				return nil, fmt.Errorf("expected string literal in IN list at offset %d, found %s", t.pos, describe(t))
+			}
+			if _, dup := seen[t.text]; !dup {
+				seen[t.text] = struct{}{}
+				cond.Values = append(cond.Values, t.text)
+			}
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if t := p.advance(); t.kind != tokRParen {
+			return nil, fmt.Errorf("expected ')' at offset %d, found %s", t.pos, describe(t))
+		}
+		return cond, nil
+	case tokNumber:
+		var lo, hi float64
+		firstVal := true
+		for {
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if firstVal {
+				lo, hi, firstVal = v, v, false
+			} else {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if t := p.advance(); t.kind != tokRParen {
+			return nil, fmt.Errorf("expected ')' at offset %d, found %s", t.pos, describe(t))
+		}
+		return &Condition{Attr: attr, IsRange: true, Lo: lo, LoSet: true, Hi: hi, HiSet: true}, nil
+	default:
+		return nil, fmt.Errorf("expected literal in IN list at offset %d, found %s", first.pos, describe(first))
+	}
+}
+
+func (p *parser) comparison(attr, op string) (*Condition, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokString:
+		if op != "=" {
+			return nil, fmt.Errorf("operator %s not supported on string literals at offset %d", op, t.pos)
+		}
+		return &Condition{Attr: attr, Values: []string{t.text}}, nil
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed number %q at offset %d", t.text, t.pos)
+		}
+		c := &Condition{Attr: attr, IsRange: true}
+		switch op {
+		case "=":
+			c.Lo, c.LoSet, c.Hi, c.HiSet = v, true, v, true
+		case "<":
+			c.Hi, c.HiSet, c.HiStrict = v, true, true
+		case "<=":
+			c.Hi, c.HiSet = v, true
+		case ">":
+			c.Lo, c.LoSet, c.LoStrict = v, true, true
+		case ">=":
+			c.Lo, c.LoSet = v, true
+		default:
+			return nil, fmt.Errorf("unsupported operator %s at offset %d", op, t.pos)
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("expected literal after %s at offset %d, found %s", op, t.pos, describe(t))
+	}
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected number at offset %d, found %s", t.pos, describe(t))
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed number %q at offset %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+func describe(t token) string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", t.kind, t.text)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

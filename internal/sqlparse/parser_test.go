@@ -1,0 +1,387 @@
+package sqlparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := Parse("SELECT * FROM ListProperty")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Table != "ListProperty" || q.Columns != nil || len(q.Conds) != 0 {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseColumns(t *testing.T) {
+	q := MustParse("SELECT price, neighborhood FROM ListProperty")
+	want := []string{"price", "neighborhood"}
+	if !reflect.DeepEqual(q.Columns, want) {
+		t.Fatalf("Columns = %v; want %v", q.Columns, want)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q := MustParse("SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA', 'Redmond, WA')")
+	c := q.Cond("neighborhood")
+	if c == nil || c.IsRange {
+		t.Fatalf("want categorical condition, got %+v", c)
+	}
+	if !reflect.DeepEqual(c.Values, []string{"Bellevue, WA", "Redmond, WA"}) {
+		t.Fatalf("Values = %v", c.Values)
+	}
+}
+
+func TestParseInListDeduplicates(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE n IN ('a','b','a')")
+	if got := q.Cond("n").Values; !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Values = %v; want deduplicated [a b]", got)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := MustParse("SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000")
+	c := q.Cond("price")
+	if c == nil || !c.IsRange || !c.LoSet || !c.HiSet || c.Lo != 200000 || c.Hi != 300000 {
+		t.Fatalf("got %+v", c)
+	}
+	if c.LoStrict || c.HiStrict {
+		t.Fatal("BETWEEN bounds must be inclusive")
+	}
+}
+
+func TestParseBetweenSwapsReversedBounds(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE p BETWEEN 30 AND 10")
+	c := q.Cond("p")
+	if c.Lo != 10 || c.Hi != 30 {
+		t.Fatalf("got [%v,%v]; want [10,30]", c.Lo, c.Hi)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	tests := []struct {
+		src                string
+		lo, hi             float64
+		loSet, hiSet       bool
+		loStrict, hiStrict bool
+	}{
+		{"SELECT * FROM T WHERE p < 100", 0, 100, false, true, false, true},
+		{"SELECT * FROM T WHERE p <= 100", 0, 100, false, true, false, false},
+		{"SELECT * FROM T WHERE p > 100", 100, 0, true, false, true, false},
+		{"SELECT * FROM T WHERE p >= 100", 100, 0, true, false, false, false},
+		{"SELECT * FROM T WHERE p = 100", 100, 100, true, true, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.src, func(t *testing.T) {
+			c := MustParse(tc.src).Cond("p")
+			if c.LoSet != tc.loSet || c.HiSet != tc.hiSet ||
+				(c.LoSet && (c.Lo != tc.lo || c.LoStrict != tc.loStrict)) ||
+				(c.HiSet && (c.Hi != tc.hi || c.HiStrict != tc.hiStrict)) {
+				t.Fatalf("got %+v", c)
+			}
+		})
+	}
+}
+
+func TestParseStringEquality(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE propertytype = 'Condo'")
+	c := q.Cond("propertytype")
+	if c == nil || c.IsRange || !reflect.DeepEqual(c.Values, []string{"Condo"}) {
+		t.Fatalf("got %+v", c)
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE n = 'O''Brien'")
+	if got := q.Cond("n").Values[0]; got != "O'Brien" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseNumericInFoldsToRange(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE bedrooms IN (4, 2, 3)")
+	c := q.Cond("bedrooms")
+	if !c.IsRange || c.Lo != 2 || c.Hi != 4 {
+		t.Fatalf("got %+v; want range [2,4]", c)
+	}
+}
+
+func TestParseMergesRangeConditions(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE p >= 100 AND p <= 300 AND p >= 150")
+	if len(q.Conds) != 1 {
+		t.Fatalf("conditions not merged: %d", len(q.Conds))
+	}
+	c := q.Cond("p")
+	if c.Lo != 150 || c.Hi != 300 {
+		t.Fatalf("merged to [%v,%v]; want [150,300]", c.Lo, c.Hi)
+	}
+}
+
+func TestParseMergesInConditions(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE n IN ('a','b','c') AND n IN ('b','c','d')")
+	c := q.Cond("n")
+	if !reflect.DeepEqual(c.Values, []string{"b", "c"}) {
+		t.Fatalf("merged Values = %v; want [b c]", c.Values)
+	}
+}
+
+func TestParseConflictingKinds(t *testing.T) {
+	if _, err := Parse("SELECT * FROM T WHERE a = 'x' AND a = 5"); err == nil {
+		t.Fatal("expected conflict error for mixed kinds on one attribute")
+	}
+}
+
+func TestParseTrailingSemicolonAndCase(t *testing.T) {
+	q, err := Parse("select * from T where P between 1 and 2;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Cond("p") == nil {
+		t.Fatal("case-insensitive attr lookup failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE T SET x = 1",
+		"SELECT FROM T",
+		"SELECT * T",
+		"SELECT * FROM",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE p",
+		"SELECT * FROM T WHERE p !! 5",
+		"SELECT * FROM T WHERE p IN ()",
+		"SELECT * FROM T WHERE p IN ('a'",
+		"SELECT * FROM T WHERE p BETWEEN 1",
+		"SELECT * FROM T WHERE p BETWEEN 1 AND",
+		"SELECT * FROM T WHERE n = 'unterminated",
+		"SELECT * FROM T WHERE p < 'str'",
+		"SELECT * FROM T extra",
+		"SELECT * FROM T WHERE p IN (1, 'a')",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded; want error", src)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{"select * from T", "SELECT * FROM T"},
+		{"select a, b from T", "SELECT a, b FROM T"},
+		{
+			"select * from T where n IN ('a','b') and p between 1 and 2",
+			"SELECT * FROM T WHERE n IN ('a', 'b') AND p BETWEEN 1 AND 2",
+		},
+		{"select * from T where n = 'a'", "SELECT * FROM T WHERE n = 'a'"},
+		{"select * from T where p >= 5", "SELECT * FROM T WHERE p >= 5"},
+		{"select * from T where p < 5", "SELECT * FROM T WHERE p < 5"},
+		{"select * from T where p = 5", "SELECT * FROM T WHERE p = 5"},
+		{"select * from T where p > 1 and p < 9", "SELECT * FROM T WHERE p > 1 AND p < 9"},
+	}
+	for _, tc := range tests {
+		if got := MustParse(tc.src).String(); got != tc.want {
+			t.Errorf("String(%q) = %q; want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestQueryPredicate(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "n", Type: relation.Categorical},
+		relation.Attribute{Name: "p", Type: relation.Numeric},
+	)
+	q := MustParse("SELECT * FROM T WHERE n IN ('a') AND p BETWEEN 10 AND 20")
+	pred := q.Predicate()
+	match := relation.Tuple{relation.StringValue("a"), relation.NumberValue(20)}
+	miss := relation.Tuple{relation.StringValue("a"), relation.NumberValue(21)}
+	if !pred.Matches(schema, match) {
+		t.Error("predicate should match tuple inside closed range")
+	}
+	if pred.Matches(schema, miss) {
+		t.Error("predicate should not match tuple above range")
+	}
+}
+
+func TestStrictBoundPredicate(t *testing.T) {
+	schema := relation.MustSchema(relation.Attribute{Name: "p", Type: relation.Numeric})
+	q := MustParse("SELECT * FROM T WHERE p > 10 AND p < 20")
+	pred := q.Predicate()
+	cases := []struct {
+		v    float64
+		want bool
+	}{{10, false}, {10.5, true}, {19.999, true}, {20, false}}
+	for _, tc := range cases {
+		got := pred.Matches(schema, relation.Tuple{relation.NumberValue(tc.v)})
+		if got != tc.want {
+			t.Errorf("p=%v: match=%v; want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestConditionOverlapsInterval(t *testing.T) {
+	c := MustParse("SELECT * FROM T WHERE p BETWEEN 100 AND 200").Cond("p")
+	tests := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0, 50, false},
+		{0, 100, false}, // bucket [0,100) excludes 100
+		{0, 101, true},  // includes 100
+		{150, 160, true},
+		{200, 300, true}, // closed condition includes 200
+		{201, 300, false},
+	}
+	for _, tc := range tests {
+		if got := c.OverlapsInterval(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("OverlapsInterval(%v,%v) = %v; want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestConditionOverlapsIntervalStrict(t *testing.T) {
+	c := MustParse("SELECT * FROM T WHERE p > 100 AND p < 200").Cond("p")
+	if c.OverlapsInterval(200, 300) {
+		t.Error("strict upper bound 200 should not overlap bucket [200,300)")
+	}
+	if !c.OverlapsInterval(150, 180) {
+		t.Error("interior bucket should overlap")
+	}
+}
+
+func TestConditionOverlapsValues(t *testing.T) {
+	c := MustParse("SELECT * FROM T WHERE n IN ('a','b')").Cond("n")
+	if !c.OverlapsValues(map[string]struct{}{"b": {}}) {
+		t.Error("should overlap on shared member")
+	}
+	if c.OverlapsValues(map[string]struct{}{"z": {}}) {
+		t.Error("should not overlap on disjoint set")
+	}
+}
+
+func TestQueryCloneIsDeep(t *testing.T) {
+	q := MustParse("SELECT a FROM T WHERE n IN ('x','y') AND p >= 5")
+	c := q.Clone()
+	c.Conds[0].Values[0] = "mutated"
+	c.Columns[0] = "mutated"
+	if q.Conds[0].Values[0] != "x" || q.Columns[0] != "a" {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestRemoveAndSetCond(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE n IN ('x') AND p >= 5")
+	if !q.RemoveCond("P") {
+		t.Fatal("RemoveCond(P) should succeed case-insensitively")
+	}
+	if q.RemoveCond("p") {
+		t.Fatal("second RemoveCond(p) should fail")
+	}
+	q.SetCond(&Condition{Attr: "n", Values: []string{"z"}})
+	if got := q.Cond("n").Values; !reflect.DeepEqual(got, []string{"z"}) {
+		t.Fatalf("SetCond did not replace: %v", got)
+	}
+	q.SetCond(&Condition{Attr: "q", IsRange: true, Lo: 1, LoSet: true})
+	if q.Cond("q") == nil {
+		t.Fatal("SetCond did not append new condition")
+	}
+}
+
+func TestCondInterval(t *testing.T) {
+	c := MustParse("SELECT * FROM T WHERE p <= 9").Cond("p")
+	lo, hi := c.Interval()
+	if !math.IsInf(lo, -1) || hi != 9 {
+		t.Fatalf("Interval = %v,%v", lo, hi)
+	}
+}
+
+// randomQuery builds a structurally valid random query for the round-trip
+// property test.
+func randomQuery(r *rand.Rand) *Query {
+	attrs := []string{"neighborhood", "price", "bedrooms", "sqft", "yearbuilt", "ptype"}
+	q := &Query{Table: "ListProperty"}
+	if r.Intn(3) == 0 {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			q.Columns = append(q.Columns, attrs[r.Intn(len(attrs))]+"_c")
+		}
+	}
+	perm := r.Perm(len(attrs))
+	nCond := r.Intn(4)
+	vals := []string{"Seattle, WA", "Bellevue, WA", "O'Brien Town", "Redmond, WA", "Kirkland, WA"}
+	for i := 0; i < nCond; i++ {
+		attr := attrs[perm[i]]
+		if r.Intn(2) == 0 {
+			k := 1 + r.Intn(3)
+			seen := map[string]struct{}{}
+			c := &Condition{Attr: attr}
+			for j := 0; j < k; j++ {
+				v := vals[r.Intn(len(vals))]
+				if _, dup := seen[v]; !dup {
+					seen[v] = struct{}{}
+					c.Values = append(c.Values, v)
+				}
+			}
+			q.Conds = append(q.Conds, c)
+		} else {
+			c := &Condition{Attr: attr, IsRange: true}
+			lo := float64(r.Intn(1000)) * 100
+			hi := lo + float64(1+r.Intn(1000))*100
+			switch r.Intn(4) {
+			case 0:
+				c.Lo, c.LoSet, c.Hi, c.HiSet = lo, true, hi, true
+			case 1:
+				c.Lo, c.LoSet, c.LoStrict = lo, true, r.Intn(2) == 0
+			case 2:
+				c.Hi, c.HiSet, c.HiStrict = hi, true, r.Intn(2) == 0
+			case 3:
+				c.Lo, c.LoSet, c.Hi, c.HiSet = lo, true, lo, true // equality
+			}
+			q.Conds = append(q.Conds, c)
+		}
+	}
+	return q
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomQuery(r))
+		},
+	}
+	prop := func(q *Query) bool {
+		parsed, err := Parse(q.String())
+		if err != nil {
+			t.Logf("round-trip parse failed for %q: %v", q.String(), err)
+			return false
+		}
+		if !reflect.DeepEqual(parsed, q) {
+			t.Logf("round-trip mismatch:\n  orig   %#v\n  parsed %#v\n  sql    %s", q, parsed, q.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrorMentionsInput(t *testing.T) {
+	_, err := Parse("SELECT * FROM T WHERE p IN ()")
+	if err == nil || !strings.Contains(err.Error(), "SELECT * FROM T") {
+		t.Fatalf("error should embed the offending query, got %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package stats provides the small statistical toolkit the paper's
+// evaluation uses: Pearson's correlation coefficient (Tables 1 and 2), the
+// zero-intercept least-squares trend line of Figure 7, and summary helpers
+// for averaging costs across explorations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns Pearson's correlation coefficient between x and y. It
+// returns an error when the lengths differ or fewer than two points are
+// given; it returns NaN when either variable has zero variance (the
+// coefficient is undefined there).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN(), nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// FitThroughOrigin returns the slope b of the least-squares line y = b·x
+// with zero intercept (the Figure 7 trend line). It returns an error on
+// length mismatch or when x is identically zero.
+func FitThroughOrigin(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	var sxy, sxx float64
+	for i := range x {
+		sxy += x[i] * y[i]
+		sxx += x[i] * x[i]
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("stats: x has no variation through the origin")
+	}
+	return sxy / sxx, nil
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// points.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var ss float64
+	for _, v := range x {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// Median returns the median, or 0 for an empty slice. The input is not
+// modified.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Summary bundles descriptive statistics of one series.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	Min, Max     float64
+	StdDev       float64
+}
+
+// Summarize computes a Summary. The zero Summary is returned for an empty
+// series.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(x),
+		Mean:   Mean(x),
+		Median: Median(x),
+		Min:    x[0],
+		Max:    x[0],
+		StdDev: StdDev(x),
+	}
+	for _, v := range x {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	return s
+}
+
+// Correlate is Pearson over paired (estimated, actual) cost samples,
+// tolerating the degenerate cases the user studies hit (a subject with too
+// few explorations): it returns 0 and false instead of an error.
+func Correlate(est, act []float64) (float64, bool) {
+	r, err := Pearson(est, act)
+	if err != nil || math.IsNaN(r) {
+		return 0, false
+	}
+	return r, true
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPearsonPerfectPositive(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !close(r, 1) {
+		t.Fatalf("Pearson = %v, %v; want 1", r, err)
+	}
+}
+
+func TestPearsonPerfectNegative(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{8, 6, 4, 2}
+	r, _ := Pearson(x, y)
+	if !close(r, -1) {
+		t.Fatalf("Pearson = %v; want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-checked example.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 3, 2, 5, 4}
+	r, _ := Pearson(x, y)
+	if !close(r, 0.8) {
+		t.Fatalf("Pearson = %v; want 0.8", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(r) {
+		t.Fatalf("Pearson with constant x = %v; want NaN", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+// TestPearsonBounds is the |r| ≤ 1 property.
+func TestPearsonBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+			y[i] = rng.NormFloat64() * 100
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return false
+		}
+		return math.IsNaN(r) || (r >= -1-1e-9 && r <= 1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPearsonInvariantToAffine: r is invariant under positive affine
+// transforms of either variable.
+func TestPearsonInvariantToAffine(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = x[i]*3 + rng.NormFloat64()*10
+		}
+		r1, _ := Pearson(x, y)
+		scaled := make([]float64, n)
+		for i := range x {
+			scaled[i] = 7*x[i] + 40
+		}
+		r2, _ := Pearson(scaled, y)
+		if math.IsNaN(r1) || math.IsNaN(r2) {
+			return true
+		}
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2.2, 4.4, 6.6}
+	b, err := FitThroughOrigin(x, y)
+	if err != nil || !close(b, 2.2) {
+		t.Fatalf("slope = %v, %v; want 2.2", b, err)
+	}
+}
+
+func TestFitThroughOriginErrors(t *testing.T) {
+	if _, err := FitThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero x should error")
+	}
+	if _, err := FitThroughOrigin([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// TestFitResidualOrthogonality: for the least-squares slope, Σx(y−bx) = 0.
+func TestFitResidualOrthogonality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		ok := false
+		for i := range x {
+			x[i] = rng.Float64()*100 - 50
+			y[i] = rng.Float64()*100 - 50
+			if x[i] != 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		b, err := FitThroughOrigin(x, y)
+		if err != nil {
+			return true
+		}
+		dot := 0.0
+		for i := range x {
+			dot += x[i] * (y[i] - b*x[i])
+		}
+		return math.Abs(dot) < 1e-6*float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	x := []float64{4, 1, 3, 2}
+	if !close(Mean(x), 2.5) {
+		t.Errorf("Mean = %v", Mean(x))
+	}
+	if !close(Median(x), 2.5) {
+		t.Errorf("Median = %v", Median(x))
+	}
+	if !close(Median([]float64{3, 1, 2}), 2) {
+		t.Errorf("odd Median = %v", Median([]float64{3, 1, 2}))
+	}
+	if !close(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("StdDev = %v; want 2", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Median(x)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatalf("Median mutated input: %v", x)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !close(s.Mean, 2.5) || !close(s.Median, 2.5) || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty Summarize = %+v", z)
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	if r, ok := Correlate([]float64{1, 2, 3}, []float64{2, 4, 6}); !ok || !close(r, 1) {
+		t.Fatalf("Correlate = %v,%v", r, ok)
+	}
+	if _, ok := Correlate([]float64{1}, []float64{2}); ok {
+		t.Fatal("Correlate with one point should report !ok")
+	}
+	if _, ok := Correlate([]float64{1, 1}, []float64{2, 4}); ok {
+		t.Fatal("Correlate with zero variance should report !ok")
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+)
+
+// corrLog has a strong neighborhood↔price correlation: Bellevue buyers shop
+// 200-250k, Seattle buyers 250-300k.
+var corrLog = []string{
+	"SELECT * FROM T WHERE n IN ('Bellevue') AND p BETWEEN 200 AND 250",
+	"SELECT * FROM T WHERE n IN ('Bellevue') AND p BETWEEN 200 AND 250",
+	"SELECT * FROM T WHERE n IN ('Bellevue') AND p BETWEEN 200 AND 250",
+	"SELECT * FROM T WHERE n IN ('Seattle') AND p BETWEEN 250 AND 300",
+	"SELECT * FROM T WHERE n IN ('Seattle') AND p BETWEEN 250 AND 300",
+	"SELECT * FROM T WHERE n IN ('Seattle')",
+	"SELECT * FROM T WHERE p BETWEEN 200 AND 300",
+	"SELECT * FROM OtherTable WHERE p BETWEEN 1 AND 2",
+}
+
+func corrIndex(t *testing.T) *CondIndex {
+	t.Helper()
+	w, err := ParseStrings(corrLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCondIndex(w, Config{Table: "T"})
+}
+
+func TestCondIndexFiltersTable(t *testing.T) {
+	idx := corrIndex(t)
+	if idx.N() != 7 {
+		t.Fatalf("N = %d; want 7 (OtherTable excluded)", idx.N())
+	}
+	if got := len(idx.AllIDs()); got != 7 {
+		t.Fatalf("AllIDs = %d", got)
+	}
+}
+
+func TestFilterCompatibleValue(t *testing.T) {
+	idx := corrIndex(t)
+	bellevue := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "n", Value: "Bellevue"})
+	// 3 Bellevue queries + the price-only query (no condition on n).
+	if len(bellevue) != 4 {
+		t.Fatalf("Bellevue-compatible = %d; want 4", len(bellevue))
+	}
+	seattle := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "n", Value: "Seattle"})
+	if len(seattle) != 4 {
+		t.Fatalf("Seattle-compatible = %d; want 4", len(seattle))
+	}
+}
+
+func TestFilterCompatibleRange(t *testing.T) {
+	idx := corrIndex(t)
+	low := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "p", IsRange: true, Lo: 200, Hi: 250})
+	// 3 Bellevue + broad-price + the hood-only Seattle query (no p cond).
+	if len(low) != 5 {
+		t.Fatalf("low-price-compatible = %d; want 5", len(low))
+	}
+}
+
+func TestCountChildrenConditional(t *testing.T) {
+	idx := corrIndex(t)
+	bellevue := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "n", Value: "Bellevue"})
+	children := []PathPred{
+		{Attr: "p", IsRange: true, Lo: 200, Hi: 250},
+		{Attr: "p", IsRange: true, Lo: 250, Hi: 300.0000001},
+	}
+	attrN, overlap := idx.CountChildren(bellevue, "p", children)
+	// Among Bellevue-compatible queries, 4 have a price condition (3
+	// Bellevue + the broad one).
+	if attrN != 4 {
+		t.Fatalf("attrN = %d; want 4", attrN)
+	}
+	// Low bucket: all 4 overlap (3 Bellevue bands + broad). High bucket:
+	// only the broad one (and the Bellevue bands' closed upper endpoint 250
+	// touches [250,300) — BETWEEN 200 AND 250 includes 250, so it overlaps).
+	if overlap[0] != 4 {
+		t.Errorf("low-bucket overlap = %d; want 4", overlap[0])
+	}
+	if overlap[1] != 4 {
+		// 3 Bellevue bands include the closed endpoint 250, which lies in
+		// [250, 300); plus the broad query.
+		t.Errorf("high-bucket overlap = %d; want 4 (closed endpoints touch)", overlap[1])
+	}
+	// With buckets that don't touch the band endpoints, the correlation is
+	// crisp:
+	children = []PathPred{
+		{Attr: "p", IsRange: true, Lo: 200, Hi: 249},
+		{Attr: "p", IsRange: true, Lo: 251, Hi: 300},
+	}
+	_, overlap = idx.CountChildren(bellevue, "p", children)
+	if overlap[0] != 4 || overlap[1] != 1 {
+		t.Fatalf("crisp overlap = %v; want [4 1]", overlap)
+	}
+}
+
+func TestPathPredNoConditionMatches(t *testing.T) {
+	idx := corrIndex(t)
+	// Every query matches a path over an attribute nobody filters on.
+	all := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "bedrooms", IsRange: true, Lo: 0, Hi: 10})
+	if len(all) != idx.N() {
+		t.Fatalf("unfiltered attribute should keep all queries: %d", len(all))
+	}
+}
+
+func TestPathPredKindMismatchPermissive(t *testing.T) {
+	idx := corrIndex(t)
+	// A value pred on the numeric-filtered attribute p: kind mismatch keeps
+	// the query.
+	got := idx.FilterCompatible(idx.AllIDs(), PathPred{Attr: "p", Value: "x"})
+	if len(got) != idx.N() {
+		t.Fatalf("kind mismatch should be permissive: %d of %d", len(got), idx.N())
+	}
+}

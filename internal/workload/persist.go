@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// statsWire is the gob-serializable mirror of Stats. The paper's system
+// persists the count tables in database tables so query-time categorization
+// never touches the raw workload; we persist them as a single gob stream.
+type statsWire struct {
+	N          int
+	AttrUsage  map[string]int
+	Occ        map[string]map[string]int
+	Splits     map[string]*splitWire
+	Ranges     map[string]*rangeWire
+	AttrByFreq []string
+}
+
+type splitWire struct {
+	Interval   float64
+	Start, End map[float64]int
+}
+
+type rangeWire struct {
+	Los, His []float64
+}
+
+// Save writes the preprocessed count tables to w.
+func (s *Stats) Save(w io.Writer) error {
+	wire := statsWire{
+		N:          s.n,
+		AttrUsage:  s.attrUsage,
+		Occ:        s.occ,
+		Splits:     make(map[string]*splitWire, len(s.splits)),
+		Ranges:     make(map[string]*rangeWire, len(s.ranges)),
+		AttrByFreq: s.attrByFreq,
+	}
+	for k, st := range s.splits {
+		wire.Splits[k] = &splitWire{Interval: st.Interval, Start: st.start, End: st.end}
+	}
+	for k, ri := range s.ranges {
+		wire.Ranges[k] = &rangeWire{Los: ri.los, His: ri.his}
+	}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("workload: encoding stats: %w", err)
+	}
+	return nil
+}
+
+// LoadStats reads count tables previously written by Save.
+func LoadStats(r io.Reader) (*Stats, error) {
+	var wire statsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("workload: decoding stats: %w", err)
+	}
+	s := &Stats{
+		n:          wire.N,
+		attrUsage:  wire.AttrUsage,
+		occ:        wire.Occ,
+		splits:     make(map[string]*SplitTable, len(wire.Splits)),
+		ranges:     make(map[string]*rangeIndex, len(wire.Ranges)),
+		attrByFreq: wire.AttrByFreq,
+		caseOf:     make(map[string]string, len(wire.AttrByFreq)),
+	}
+	for _, a := range wire.AttrByFreq {
+		s.caseOf[strings.ToLower(a)] = a
+	}
+	if s.attrUsage == nil {
+		s.attrUsage = make(map[string]int)
+	}
+	if s.occ == nil {
+		s.occ = make(map[string]map[string]int)
+	}
+	for k, sw := range wire.Splits {
+		st := &SplitTable{Interval: sw.Interval, start: sw.Start, end: sw.End}
+		if st.start == nil {
+			st.start = make(map[float64]int)
+		}
+		if st.end == nil {
+			st.end = make(map[float64]int)
+		}
+		s.splits[k] = st
+	}
+	for k, rw := range wire.Ranges {
+		s.ranges[k] = &rangeIndex{los: rw.Los, his: rw.His}
+	}
+	return s, nil
+}

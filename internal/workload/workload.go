@@ -1,0 +1,408 @@
+// Package workload implements the paper's workload mining layer (§4.2, §5):
+// it holds a log of past SQL queries and preprocesses it into the three
+// kinds of count tables the categorizer consults at query time —
+//
+//   - AttributeUsageCounts: NAttr(A), how many queries filter on A (Fig 4a);
+//   - OccurrenceCounts: occ(v), per categorical attribute, how many queries
+//     mention value v in an IN clause (Fig 4b);
+//   - SplitPoints: per numeric attribute, how many query ranges start or end
+//     at each grid point, whose sum is the splitpoint "goodness" (Fig 5b).
+//
+// It additionally maintains, per numeric attribute, a sorted range index so
+// NOverlap(C) — the number of workload ranges overlapping a label bucket —
+// is answered with two binary searches.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// Workload is an ordered log of parsed queries.
+type Workload struct {
+	Queries []*sqlparse.Query
+}
+
+// ParseLog parses one query per non-empty line from r. Lines that fail to
+// parse are skipped and counted; real query logs contain noise and the
+// paper's pipeline only needs the parseable majority.
+func ParseLog(r io.Reader) (*Workload, int, error) {
+	w := &Workload{}
+	skipped := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		q, err := sqlparse.Parse(line)
+		if err != nil {
+			skipped++
+			continue
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("workload: reading log: %w", err)
+	}
+	return w, skipped, nil
+}
+
+// ParseStrings parses a workload from SQL strings, failing on the first
+// malformed query. Use ParseLog for tolerant ingestion.
+func ParseStrings(queries []string) (*Workload, error) {
+	w := &Workload{Queries: make([]*sqlparse.Query, 0, len(queries))}
+	for i, s := range queries {
+		q, err := sqlparse.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// Len returns the number of queries N in the workload.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// Split partitions the workload into the queries whose index satisfies keep
+// and the rest. It is the cross-validation primitive of §6.2: hold out a
+// subset as synthetic explorations, build count tables on the remainder.
+func (w *Workload) Split(keep func(i int) bool) (kept, held *Workload) {
+	kept, held = &Workload{}, &Workload{}
+	for i, q := range w.Queries {
+		if keep(i) {
+			kept.Queries = append(kept.Queries, q)
+		} else {
+			held.Queries = append(held.Queries, q)
+		}
+	}
+	return kept, held
+}
+
+// Merge returns a new workload containing every query of base plus the
+// personal queries repeated weight times. This is the simple integer-weight
+// form of the personalization the paper's footnote 4 leaves open: biasing
+// the aggregate statistics toward one user's own history so "the average
+// user" drifts toward *this* user. weight < 1 is treated as 1.
+func Merge(base, personal *Workload, weight int) *Workload {
+	if weight < 1 {
+		weight = 1
+	}
+	out := &Workload{Queries: make([]*sqlparse.Query, 0, base.Len()+weight*personal.Len())}
+	out.Queries = append(out.Queries, base.Queries...)
+	for i := 0; i < weight; i++ {
+		out.Queries = append(out.Queries, personal.Queries...)
+	}
+	return out
+}
+
+// Config controls preprocessing.
+type Config struct {
+	// Table restricts mining to queries over this table (case-insensitive).
+	// Empty means all queries.
+	Table string
+	// Intervals gives the separation interval between potential splitpoints
+	// for each numeric attribute (the paper uses 5000 for price, 100 for
+	// square footage, 5 for year-built). Attributes without an entry fall
+	// back to DefaultInterval.
+	Intervals map[string]float64
+	// DefaultInterval is the splitpoint grid spacing for numeric attributes
+	// not listed in Intervals. Zero means 1.
+	DefaultInterval float64
+}
+
+// Stats is the preprocessed form of a workload: the count tables plus range
+// indexes. Build it once (offline, per the paper) and share it across
+// queries; it is read-only after construction and safe for concurrent use.
+type Stats struct {
+	n          int
+	attrUsage  map[string]int            // lower(attr) -> NAttr
+	occ        map[string]map[string]int // lower(attr) -> value -> occ
+	splits     map[string]*SplitTable    // lower(attr) -> splitpoint table
+	ranges     map[string]*rangeIndex    // lower(attr) -> sorted range ends
+	attrByFreq []string                  // attrs sorted by NAttr desc (original case of first sight)
+	caseOf     map[string]string         // lower(attr) -> original case
+}
+
+// Preprocess scans the workload once and builds the count tables.
+func Preprocess(w *Workload, cfg Config) *Stats {
+	s := &Stats{
+		n:         0,
+		attrUsage: make(map[string]int),
+		occ:       make(map[string]map[string]int),
+		splits:    make(map[string]*SplitTable),
+		ranges:    make(map[string]*rangeIndex),
+		caseOf:    make(map[string]string),
+	}
+	caseOf := s.caseOf
+	for _, q := range w.Queries {
+		if cfg.Table != "" && !strings.EqualFold(q.Table, cfg.Table) {
+			continue
+		}
+		s.n++
+		for _, c := range q.Conds {
+			key := strings.ToLower(c.Attr)
+			if _, ok := caseOf[key]; !ok {
+				caseOf[key] = c.Attr
+			}
+			s.attrUsage[key]++
+			if !c.IsRange {
+				m := s.occ[key]
+				if m == nil {
+					m = make(map[string]int)
+					s.occ[key] = m
+				}
+				for _, v := range c.Values {
+					m[v]++
+				}
+				continue
+			}
+			st := s.splits[key]
+			if st == nil {
+				iv := cfg.Intervals[key]
+				if iv == 0 {
+					iv = cfg.Intervals[c.Attr]
+				}
+				if iv == 0 {
+					iv = cfg.DefaultInterval
+				}
+				if iv == 0 {
+					iv = 1
+				}
+				st = &SplitTable{Interval: iv, start: make(map[float64]int), end: make(map[float64]int)}
+				s.splits[key] = st
+			}
+			lo, hi := c.Interval()
+			if !math.IsInf(lo, -1) {
+				st.start[st.snap(lo)]++
+			}
+			if !math.IsInf(hi, 1) {
+				st.end[st.snap(hi)]++
+			}
+			ri := s.ranges[key]
+			if ri == nil {
+				ri = &rangeIndex{}
+				s.ranges[key] = ri
+			}
+			elo, ehi := lo, hi
+			if c.LoStrict {
+				elo = math.Nextafter(elo, math.Inf(1))
+			}
+			if c.HiStrict {
+				ehi = math.Nextafter(ehi, math.Inf(-1))
+			}
+			ri.los = append(ri.los, elo)
+			ri.his = append(ri.his, ehi)
+		}
+	}
+	for _, ri := range s.ranges {
+		sort.Float64s(ri.los)
+		sort.Float64s(ri.his)
+	}
+	s.resortByFreq()
+	return s
+}
+
+// resortByFreq rebuilds attrByFreq from the usage counts.
+func (s *Stats) resortByFreq() {
+	s.attrByFreq = s.attrByFreq[:0]
+	for key := range s.attrUsage {
+		name := s.caseOf[key]
+		if name == "" {
+			name = key
+		}
+		s.attrByFreq = append(s.attrByFreq, name)
+	}
+	sort.Slice(s.attrByFreq, func(i, j int) bool {
+		ui := s.attrUsage[strings.ToLower(s.attrByFreq[i])]
+		uj := s.attrUsage[strings.ToLower(s.attrByFreq[j])]
+		if ui != uj {
+			return ui > uj
+		}
+		return strings.ToLower(s.attrByFreq[i]) < strings.ToLower(s.attrByFreq[j])
+	})
+}
+
+// N returns the number of mined queries.
+func (s *Stats) N() int { return s.n }
+
+// NAttr returns the number of workload queries carrying a selection
+// condition on attr (case-insensitive).
+func (s *Stats) NAttr(attr string) int { return s.attrUsage[strings.ToLower(attr)] }
+
+// UsageFraction returns NAttr(attr)/N, the fraction of users interested in
+// only a few values of attr — the SHOWCAT probability when attr
+// subcategorizes a node. It is 0 for an empty workload.
+func (s *Stats) UsageFraction(attr string) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.NAttr(attr)) / float64(s.n)
+}
+
+// Occ returns occ(v): how many workload queries mention value v of the
+// categorical attribute attr in an IN clause (or equality).
+func (s *Stats) Occ(attr, v string) int {
+	m := s.occ[strings.ToLower(attr)]
+	if m == nil {
+		return 0
+	}
+	return m[v]
+}
+
+// Splits returns the splitpoint table for the numeric attribute attr, or nil
+// if the workload contains no range condition on it.
+func (s *Stats) Splits(attr string) *SplitTable { return s.splits[strings.ToLower(attr)] }
+
+// NOverlapValues counts workload queries whose IN condition on attr mentions
+// at least one value in set. For the single-value categories the algorithm
+// builds this equals Occ; the general form supports multi-value labels.
+func (s *Stats) NOverlapValues(attr string, set map[string]struct{}) int {
+	if len(set) == 1 {
+		for v := range set {
+			return s.Occ(attr, v)
+		}
+	}
+	// Without per-query inverted lists, bound the overlap count by the sum
+	// of member occurrence counts capped at NAttr. Exact counting for
+	// multi-value labels would require retaining query-id lists; the
+	// algorithm only creates single-value categorical labels (§5.1.2).
+	sum := 0
+	for v := range set {
+		sum += s.Occ(attr, v)
+	}
+	if na := s.NAttr(attr); sum > na {
+		return na
+	}
+	return sum
+}
+
+// NOverlapRange counts workload queries whose range condition on attr
+// overlaps the half-open label bucket [lo, hi).
+func (s *Stats) NOverlapRange(attr string, lo, hi float64) int {
+	ri := s.ranges[strings.ToLower(attr)]
+	if ri == nil {
+		return 0
+	}
+	return ri.countOverlapping(lo, hi)
+}
+
+// AttrsByUsage returns all attributes seen in the workload, most-used first.
+func (s *Stats) AttrsByUsage() []string {
+	return append([]string(nil), s.attrByFreq...)
+}
+
+// Retained returns the attributes surviving the elimination heuristic of
+// §5.1.1: those with NAttr(A)/N ≥ x, most-used first.
+func (s *Stats) Retained(x float64) []string {
+	var out []string
+	for _, a := range s.attrByFreq {
+		if s.UsageFraction(a) >= x {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// rangeIndex answers "how many ranges overlap [lo, hi)" by binary search
+// over the sorted lower and upper bounds of all mined ranges on one
+// attribute. A range [l, h] overlaps [lo, hi) iff l < hi and h >= lo; the
+// complement (h < lo, or l >= hi) is countable from the sorted slices, and
+// the two failure modes are mutually exclusive when lo < hi.
+type rangeIndex struct {
+	los, his []float64 // sorted; ±Inf for open bounds
+}
+
+func (ri *rangeIndex) countOverlapping(lo, hi float64) int {
+	if hi <= lo {
+		return 0
+	}
+	endsBefore := sort.SearchFloat64s(ri.his, lo)                // ranges with h < lo
+	startsAfter := len(ri.los) - sort.SearchFloat64s(ri.los, hi) // ranges with l >= hi
+	return len(ri.los) - endsBefore - startsAfter
+}
+
+// SplitTable is the per-attribute splitpoints table of Figure 5(b):
+// potential splitpoints lie on a fixed grid of spacing Interval, and each
+// carries the number of workload ranges starting and ending there.
+type SplitTable struct {
+	Interval   float64
+	start, end map[float64]int
+}
+
+// snap rounds v to the nearest grid point.
+func (st *SplitTable) snap(v float64) float64 {
+	return math.Round(v/st.Interval) * st.Interval
+}
+
+// Goodness returns the splitpoint score SUM(start_v, end_v) of grid point v
+// (§5.1.3). Non-grid values score 0.
+func (st *SplitTable) Goodness(v float64) int {
+	return st.start[v] + st.end[v]
+}
+
+// StartEnd returns the raw start and end counts at grid point v.
+func (st *SplitTable) StartEnd(v float64) (start, end int) {
+	return st.start[v], st.end[v]
+}
+
+// Splitpoint is a candidate splitpoint with its goodness score.
+type Splitpoint struct {
+	Value    float64
+	Goodness int
+}
+
+// Candidates returns the potential splitpoints strictly inside (lo, hi),
+// ordered by goodness descending (value ascending on ties). Grid points with
+// zero goodness are included only when includeZero is set — they allow the
+// partitioner to fall back to arbitrary interior points when the workload
+// offers too few scored points — and the enumeration is capped at maxZero
+// zero-goodness points spread evenly across the range.
+func (st *SplitTable) Candidates(lo, hi float64, includeZero bool, maxZero int) []Splitpoint {
+	var out []Splitpoint
+	seen := make(map[float64]struct{})
+	add := func(v float64, g int) {
+		if v <= lo || v >= hi {
+			return
+		}
+		if _, dup := seen[v]; dup {
+			return
+		}
+		seen[v] = struct{}{}
+		out = append(out, Splitpoint{Value: v, Goodness: g})
+	}
+	for v := range st.start {
+		add(v, st.Goodness(v))
+	}
+	for v := range st.end {
+		add(v, st.Goodness(v))
+	}
+	if includeZero && maxZero > 0 {
+		first := math.Floor(lo/st.Interval)*st.Interval + st.Interval
+		total := int((hi - first) / st.Interval)
+		if total > 0 {
+			step := 1
+			if total > maxZero {
+				step = (total + maxZero - 1) / maxZero
+			}
+			for i := 0; i <= total; i += step {
+				add(first+float64(i)*st.Interval, st.Goodness(first+float64(i)*st.Interval))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Goodness != out[j].Goodness {
+			return out[i].Goodness > out[j].Goodness
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

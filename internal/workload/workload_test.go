@@ -1,0 +1,471 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+)
+
+// miniWorkload mirrors the shape of Figure 4: neighborhood is the most-used
+// attribute, price ranges cluster on round endpoints.
+var miniLog = []string{
+	"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA','Redmond, WA') AND price BETWEEN 200000 AND 300000",
+	"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND bedrooms >= 3",
+	"SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA') AND price <= 300000",
+	"SELECT * FROM ListProperty WHERE price BETWEEN 250000 AND 300000",
+	"SELECT * FROM ListProperty WHERE neighborhood IN ('Kirkland, WA','Bellevue, WA')",
+	"SELECT * FROM ListProperty WHERE bedrooms BETWEEN 2 AND 4",
+	"SELECT * FROM OtherTable WHERE price BETWEEN 1 AND 2",
+}
+
+func miniStats(t *testing.T) *Stats {
+	t.Helper()
+	w, err := ParseStrings(miniLog)
+	if err != nil {
+		t.Fatalf("ParseStrings: %v", err)
+	}
+	return Preprocess(w, Config{
+		Table:     "ListProperty",
+		Intervals: map[string]float64{"price": 50000, "bedrooms": 1},
+	})
+}
+
+func TestPreprocessCounts(t *testing.T) {
+	s := miniStats(t)
+	if s.N() != 6 {
+		t.Fatalf("N = %d; want 6 (OtherTable filtered out)", s.N())
+	}
+	if got := s.NAttr("neighborhood"); got != 4 {
+		t.Errorf("NAttr(neighborhood) = %d; want 4", got)
+	}
+	if got := s.NAttr("PRICE"); got != 3 {
+		t.Errorf("NAttr(PRICE) = %d; want 3 (case-insensitive)", got)
+	}
+	if got := s.NAttr("bedrooms"); got != 2 {
+		t.Errorf("NAttr(bedrooms) = %d; want 2", got)
+	}
+	if got := s.NAttr("sqft"); got != 0 {
+		t.Errorf("NAttr(sqft) = %d; want 0", got)
+	}
+}
+
+func TestOccurrenceCounts(t *testing.T) {
+	s := miniStats(t)
+	tests := []struct {
+		v    string
+		want int
+	}{
+		{"Bellevue, WA", 3},
+		{"Redmond, WA", 1},
+		{"Seattle, WA", 1},
+		{"Kirkland, WA", 1},
+		{"Nowhere", 0},
+	}
+	for _, tc := range tests {
+		if got := s.Occ("neighborhood", tc.v); got != tc.want {
+			t.Errorf("Occ(%q) = %d; want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestUsageFraction(t *testing.T) {
+	s := miniStats(t)
+	if got, want := s.UsageFraction("neighborhood"), 4.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UsageFraction = %v; want %v", got, want)
+	}
+	empty := Preprocess(&Workload{}, Config{})
+	if empty.UsageFraction("x") != 0 {
+		t.Error("empty workload should give 0 usage fraction")
+	}
+}
+
+func TestRetained(t *testing.T) {
+	s := miniStats(t)
+	// fractions: neighborhood 4/6, price 3/6, bedrooms 2/6
+	got := s.Retained(0.4)
+	want := []string{"neighborhood", "price"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Retained(0.4) = %v; want %v", got, want)
+	}
+	if got := s.Retained(0); len(got) != 3 {
+		t.Fatalf("Retained(0) = %v; want all 3", got)
+	}
+}
+
+func TestAttrsByUsageOrder(t *testing.T) {
+	s := miniStats(t)
+	got := s.AttrsByUsage()
+	want := []string{"neighborhood", "price", "bedrooms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AttrsByUsage = %v; want %v", got, want)
+	}
+}
+
+func TestSplitTableGoodness(t *testing.T) {
+	s := miniStats(t)
+	st := s.Splits("price")
+	if st == nil {
+		t.Fatal("no split table for price")
+	}
+	// starts: 200000 (q1), 250000 (q4); ends: 300000 (q1, q3, q4)
+	if got, _ := st.StartEnd(200000); got != 1 {
+		t.Errorf("start(200000) = %d; want 1", got)
+	}
+	if _, got := st.StartEnd(300000); got != 3 {
+		t.Errorf("end(300000) = %d; want 3", got)
+	}
+	if got := st.Goodness(300000); got != 3 {
+		t.Errorf("Goodness(300000) = %d; want 3", got)
+	}
+	if got := st.Goodness(250000); got != 1 {
+		t.Errorf("Goodness(250000) = %d; want 1", got)
+	}
+	if got := st.Goodness(123456); got != 0 {
+		t.Errorf("Goodness(off-grid) = %d; want 0", got)
+	}
+}
+
+func TestSplitTableSnapping(t *testing.T) {
+	w, err := ParseStrings([]string{"SELECT * FROM T WHERE price BETWEEN 199999 AND 301234"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Preprocess(w, Config{Intervals: map[string]float64{"price": 50000}})
+	st := s.Splits("price")
+	if got := st.Goodness(200000); got != 1 {
+		t.Errorf("Goodness(200000) = %d; want 1 (199999 snaps up)", got)
+	}
+	if got := st.Goodness(300000); got != 1 {
+		t.Errorf("Goodness(300000) = %d; want 1 (301234 snaps down)", got)
+	}
+}
+
+func TestCandidatesOrdering(t *testing.T) {
+	s := miniStats(t)
+	st := s.Splits("price")
+	cands := st.Candidates(0, 1e9, false, 0)
+	if len(cands) < 3 {
+		t.Fatalf("candidates = %v; want at least 3", cands)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Goodness > cands[i-1].Goodness {
+			t.Fatalf("candidates not sorted by goodness desc: %v", cands)
+		}
+		if cands[i].Goodness == cands[i-1].Goodness && cands[i].Value < cands[i-1].Value {
+			t.Fatalf("tie not broken by ascending value: %v", cands)
+		}
+	}
+	if cands[0].Value != 300000 {
+		t.Fatalf("best candidate = %v; want 300000", cands[0])
+	}
+}
+
+func TestCandidatesRangeExclusive(t *testing.T) {
+	s := miniStats(t)
+	st := s.Splits("price")
+	for _, c := range st.Candidates(200000, 300000, false, 0) {
+		if c.Value <= 200000 || c.Value >= 300000 {
+			t.Fatalf("candidate %v outside open interval (200000,300000)", c)
+		}
+	}
+}
+
+func TestCandidatesIncludeZero(t *testing.T) {
+	s := miniStats(t)
+	st := s.Splits("price")
+	with := st.Candidates(0, 500000, true, 100)
+	without := st.Candidates(0, 500000, false, 0)
+	if len(with) <= len(without) {
+		t.Fatalf("includeZero added no candidates: %d vs %d", len(with), len(without))
+	}
+	if cap := st.Candidates(0, 500000, true, 3); len(cap) > len(without)+4 {
+		t.Fatalf("maxZero cap not respected: got %d candidates", len(cap))
+	}
+}
+
+func TestNOverlapRange(t *testing.T) {
+	s := miniStats(t)
+	// price ranges: [200000,300000], (-inf,300000], [250000,300000]
+	tests := []struct {
+		lo, hi float64
+		want   int
+	}{
+		{0, 100000, 1},      // only the open-below query
+		{200000, 250000, 2}, // q1 and the ≤300000 query
+		{250000, 300000, 3}, // all three
+		{300000, 400000, 3}, // all include 300000 exactly
+		{300001, 400000, 0}, // none extend past 300000
+		{0, math.Inf(1), 3}, // everything
+		{500000, 400000, 0}, // inverted interval
+	}
+	for _, tc := range tests {
+		if got := s.NOverlapRange("price", tc.lo, tc.hi); got != tc.want {
+			t.Errorf("NOverlapRange(%v,%v) = %d; want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	if got := s.NOverlapRange("unknown", 0, 1); got != 0 {
+		t.Errorf("NOverlapRange(unknown) = %d; want 0", got)
+	}
+}
+
+func TestNOverlapValues(t *testing.T) {
+	s := miniStats(t)
+	one := map[string]struct{}{"Bellevue, WA": {}}
+	if got := s.NOverlapValues("neighborhood", one); got != 3 {
+		t.Errorf("single-value overlap = %d; want 3", got)
+	}
+	all := map[string]struct{}{
+		"Bellevue, WA": {}, "Redmond, WA": {}, "Seattle, WA": {}, "Kirkland, WA": {},
+	}
+	// Sum of occs is 6 but only 4 queries filter on neighborhood: capped.
+	if got := s.NOverlapValues("neighborhood", all); got != 4 {
+		t.Errorf("multi-value overlap = %d; want 4 (capped at NAttr)", got)
+	}
+}
+
+// TestNOverlapRangeMatchesBruteForce is the property test for the
+// binary-search overlap counter (DESIGN.md invariant 7).
+func TestNOverlapRangeMatchesBruteForce(t *testing.T) {
+	type rng struct{ lo, hi float64 }
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		ranges := make([]rng, n)
+		lines := make([]string, n)
+		for i := range ranges {
+			lo := float64(r.Intn(100))
+			hi := lo + float64(r.Intn(100))
+			ranges[i] = rng{lo, hi}
+			lines[i] = "SELECT * FROM T WHERE p BETWEEN " +
+				strconv.FormatFloat(lo, 'f', -1, 64) + " AND " + strconv.FormatFloat(hi, 'f', -1, 64)
+		}
+		w, err := ParseStrings(lines)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		s := Preprocess(w, Config{Intervals: map[string]float64{"p": 1}})
+		for trial := 0; trial < 20; trial++ {
+			lo := float64(r.Intn(120)) - 10
+			hi := lo + float64(r.Intn(120))
+			want := 0
+			for _, rg := range ranges {
+				if rg.lo < hi && rg.hi >= lo && lo < hi {
+					want++
+				}
+			}
+			if got := s.NOverlapRange("p", lo, hi); got != want {
+				t.Logf("seed %d: NOverlapRange(%v,%v) = %d; brute force %d", seed, lo, hi, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLogSkipsMalformed(t *testing.T) {
+	log := strings.Join([]string{
+		"SELECT * FROM T WHERE p >= 1",
+		"-- a comment line",
+		"",
+		"DELETE FROM T",
+		"SELECT * FROM T WHERE p <= 2",
+	}, "\n")
+	w, skipped, err := ParseLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("ParseLog: %v", err)
+	}
+	if w.Len() != 2 || skipped != 1 {
+		t.Fatalf("Len = %d skipped = %d; want 2, 1", w.Len(), skipped)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	w, err := ParseStrings(miniLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, held := w.Split(func(i int) bool { return i%2 == 0 })
+	if kept.Len()+held.Len() != w.Len() {
+		t.Fatalf("split loses queries: %d + %d != %d", kept.Len(), held.Len(), w.Len())
+	}
+	if kept.Len() != 4 || held.Len() != 3 {
+		t.Fatalf("kept %d held %d; want 4, 3", kept.Len(), held.Len())
+	}
+}
+
+func TestStatsSaveLoadRoundTrip(t *testing.T) {
+	s := miniStats(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadStats(&buf)
+	if err != nil {
+		t.Fatalf("LoadStats: %v", err)
+	}
+	if loaded.N() != s.N() {
+		t.Errorf("N = %d; want %d", loaded.N(), s.N())
+	}
+	if got, want := loaded.NAttr("neighborhood"), s.NAttr("neighborhood"); got != want {
+		t.Errorf("NAttr = %d; want %d", got, want)
+	}
+	if got, want := loaded.Occ("neighborhood", "Bellevue, WA"), 3; got != want {
+		t.Errorf("Occ = %d; want %d", got, want)
+	}
+	if got, want := loaded.NOverlapRange("price", 250000, 300000), s.NOverlapRange("price", 250000, 300000); got != want {
+		t.Errorf("NOverlapRange = %d; want %d", got, want)
+	}
+	if got, want := loaded.Splits("price").Goodness(300000), 3; got != want {
+		t.Errorf("Goodness = %d; want %d", got, want)
+	}
+	if !reflect.DeepEqual(loaded.AttrsByUsage(), s.AttrsByUsage()) {
+		t.Errorf("AttrsByUsage = %v; want %v", loaded.AttrsByUsage(), s.AttrsByUsage())
+	}
+}
+
+func TestLoadStatsRejectsGarbage(t *testing.T) {
+	if _, err := LoadStats(strings.NewReader("not gob")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	w, _ := ParseStrings([]string{"SELECT * FROM T WHERE p BETWEEN 3 AND 7"})
+	s := Preprocess(w, Config{})
+	if st := s.Splits("p"); st == nil || st.Interval != 1 {
+		t.Fatalf("default interval not applied: %+v", st)
+	}
+}
+
+// TestAddQueryMatchesPreprocess: folding queries in one at a time must give
+// exactly the same statistics as batch preprocessing.
+func TestAddQueryMatchesPreprocess(t *testing.T) {
+	cfg := Config{Table: "ListProperty", Intervals: map[string]float64{"price": 50000, "bedrooms": 1}}
+	w, err := ParseStrings(miniLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Preprocess(w, cfg)
+	inc := Preprocess(&Workload{}, cfg)
+	for _, q := range w.Queries {
+		inc.AddQuery(q, cfg)
+	}
+	if inc.N() != batch.N() {
+		t.Fatalf("N = %d; want %d", inc.N(), batch.N())
+	}
+	if !reflect.DeepEqual(inc.AttrsByUsage(), batch.AttrsByUsage()) {
+		t.Fatalf("AttrsByUsage = %v; want %v", inc.AttrsByUsage(), batch.AttrsByUsage())
+	}
+	for _, a := range []string{"neighborhood", "price", "bedrooms"} {
+		if inc.NAttr(a) != batch.NAttr(a) {
+			t.Errorf("NAttr(%s) = %d; want %d", a, inc.NAttr(a), batch.NAttr(a))
+		}
+	}
+	if inc.Occ("neighborhood", "Bellevue, WA") != batch.Occ("neighborhood", "Bellevue, WA") {
+		t.Error("Occ mismatch")
+	}
+	for _, tc := range [][2]float64{{200000, 250000}, {250000, 300000}, {0, 1e9}} {
+		if got, want := inc.NOverlapRange("price", tc[0], tc[1]), batch.NOverlapRange("price", tc[0], tc[1]); got != want {
+			t.Errorf("NOverlapRange(%v,%v) = %d; want %d", tc[0], tc[1], got, want)
+		}
+	}
+	if got, want := inc.Splits("price").Goodness(300000), batch.Splits("price").Goodness(300000); got != want {
+		t.Errorf("Goodness = %d; want %d", got, want)
+	}
+	if !reflect.DeepEqual(inc.Retained(0.4), batch.Retained(0.4)) {
+		t.Errorf("Retained = %v; want %v", inc.Retained(0.4), batch.Retained(0.4))
+	}
+}
+
+func TestAddQueryRespectsTableFilter(t *testing.T) {
+	cfg := Config{Table: "ListProperty"}
+	s := Preprocess(&Workload{}, cfg)
+	q, _ := sqlparse.Parse("SELECT * FROM OtherTable WHERE price >= 1")
+	s.AddQuery(q, cfg)
+	if s.N() != 0 {
+		t.Fatalf("filtered query counted: N = %d", s.N())
+	}
+}
+
+func TestAddQueryAfterLoad(t *testing.T) {
+	cfg := Config{Table: "ListProperty", Intervals: map[string]float64{"price": 50000, "bedrooms": 1}}
+	w, _ := ParseStrings(miniLog)
+	s := Preprocess(w, cfg)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sqlparse.Parse("SELECT * FROM ListProperty WHERE sqft BETWEEN 1000 AND 2000")
+	loaded.AddQuery(q, cfg)
+	if loaded.NAttr("sqft") != 1 {
+		t.Fatalf("NAttr(sqft) = %d after incremental add on loaded stats", loaded.NAttr("sqft"))
+	}
+	if loaded.N() != s.N()+1 {
+		t.Fatalf("N = %d; want %d", loaded.N(), s.N()+1)
+	}
+	// The new attribute shows up in the frequency order.
+	found := false
+	for _, a := range loaded.AttrsByUsage() {
+		if a == "sqft" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sqft missing from AttrsByUsage after incremental add")
+	}
+}
+
+// TestRangeIndexInsertProperty: incremental inserts must answer overlap
+// queries identically to batch building.
+func TestRangeIndexInsertProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{Intervals: map[string]float64{"p": 1}}
+		inc := Preprocess(&Workload{}, cfg)
+		var lines []string
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			lo := rng.Intn(100)
+			hi := lo + rng.Intn(100)
+			sql := "SELECT * FROM T WHERE p BETWEEN " + strconv.Itoa(lo) + " AND " + strconv.Itoa(hi)
+			lines = append(lines, sql)
+			q, err := sqlparse.Parse(sql)
+			if err != nil {
+				return false
+			}
+			inc.AddQuery(q, cfg)
+		}
+		w, err := ParseStrings(lines)
+		if err != nil {
+			return false
+		}
+		batch := Preprocess(w, cfg)
+		for trial := 0; trial < 15; trial++ {
+			lo := float64(rng.Intn(120) - 10)
+			hi := lo + float64(rng.Intn(120))
+			if inc.NOverlapRange("p", lo, hi) != batch.NOverlapRange("p", lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

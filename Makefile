@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench report examples fuzz clean
+.PHONY: all build test race bench bench-all check report examples fuzz clean
 
 all: build test
 
@@ -14,8 +14,25 @@ test:
 race:
 	go test -race ./...
 
-# One benchmark per table/figure of the paper (see EXPERIMENTS.md).
+# Vet plus the race-checked hot packages (the categorizer's worker pool and
+# the relation's column caches are the concurrent code).
+check:
+	go vet ./...
+	go test -race ./internal/category ./internal/relation
+
+# The categorizer/columnar benchmarks, recorded as BENCH_categorize.json
+# (testdata/bench_seed.txt holds the pre-columnar baseline for the ratios).
 bench:
+	go test -run='^$$' -bench=. -benchmem -count=5 ./internal/category ./internal/relation \
+		| tee bench_output.txt \
+		| go run ./cmd/benchjson -baseline testdata/bench_seed.txt \
+		  -note "columnar projections + dictionary-coded partitioning vs row-wise seed" \
+		  -o BENCH_categorize.json
+	@echo wrote BENCH_categorize.json
+
+# Every benchmark in the repo (one per table/figure of the paper; see
+# EXPERIMENTS.md).
+bench-all:
 	go test -bench=. -benchmem ./...
 
 # The full formatted evaluation report at paper scale.

@@ -1,0 +1,209 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record. It reads the benchmark text from stdin, aggregates repeated
+// -count runs per benchmark (mean and minimum), and optionally joins a
+// baseline run to compute speedup and allocation-reduction ratios — the
+// format BENCH_categorize.json records.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=5 ./... | benchjson [-baseline old.txt] [-o out.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// Result aggregates all -count runs of one benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`      // mean
+	MinNsPerOp  float64 `json:"min_ns_per_op"`  // best run
+	BytesPerOp  float64 `json:"bytes_per_op"`   // mean
+	AllocsPerOp float64 `json:"allocs_per_op"`  // mean
+
+	// Joined from -baseline when present.
+	Baseline     *Result `json:"baseline,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`       // baseline mean ns / mean ns
+	AllocsRatio  float64 `json:"allocs_ratio,omitempty"`  // baseline allocs / allocs
+	BytesRatio   float64 `json:"bytes_ratio,omitempty"`   // baseline bytes / bytes
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Note       string   `json:"note,omitempty"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        []string `json:"packages,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkCategorize/rows=4000-4  955  1350538 ns/op  772548 B/op  756 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "bench text of the run to compare against")
+		outPath      = flag.String("o", "", "write JSON here instead of stdout")
+		note         = flag.String("note", "", "free-form annotation stored in the document")
+	)
+	flag.Parse()
+
+	cur, hdr := parse(os.Stdin)
+	doc := report{Note: *note, GoOS: hdr["goos"], GoArch: hdr["goarch"], CPU: hdr["cpu"], Pkg: hdr.packages()}
+
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, _ := parse(f)
+		f.Close()
+		join(cur, base)
+	}
+
+	for _, name := range sortedNames(cur) {
+		doc.Benchmarks = append(doc.Benchmarks, *cur[name])
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// header collects the goos/goarch/pkg/cpu lines go test prints before the
+// benchmark results.
+type header map[string]string
+
+func (h header) packages() []string {
+	if h["pkg"] == "" {
+		return nil
+	}
+	return strings.Fields(h["pkg"])
+}
+
+// parse reads bench text and aggregates per benchmark name.
+func parse(r io.Reader) (map[string]*Result, header) {
+	type agg struct {
+		samples []sample
+	}
+	aggs := map[string]*agg{}
+	hdr := header{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				if k == "pkg" && hdr[k] != "" {
+					v = hdr[k] + " " + v // multiple packages in one run
+				}
+				hdr[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		s := sample{NsPerOp: num(m[2]), BytesPerOp: num(m[3]), AllocsPerOp: num(m[4])}
+		a := aggs[m[1]]
+		if a == nil {
+			a = &agg{}
+			aggs[m[1]] = a
+		}
+		a.samples = append(a.samples, s)
+	}
+	results := map[string]*Result{}
+	for name, a := range aggs {
+		r := &Result{Name: name, Runs: len(a.samples), MinNsPerOp: a.samples[0].NsPerOp}
+		for _, s := range a.samples {
+			r.NsPerOp += s.NsPerOp
+			r.BytesPerOp += s.BytesPerOp
+			r.AllocsPerOp += s.AllocsPerOp
+			if s.NsPerOp < r.MinNsPerOp {
+				r.MinNsPerOp = s.NsPerOp
+			}
+		}
+		n := float64(len(a.samples))
+		r.NsPerOp = round(r.NsPerOp / n)
+		r.BytesPerOp = round(r.BytesPerOp / n)
+		r.AllocsPerOp = round(r.AllocsPerOp / n)
+		results[name] = r
+	}
+	return results, hdr
+}
+
+// join attaches baseline results and ratios to the current ones.
+func join(cur, base map[string]*Result) {
+	for name, r := range cur {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		r.Baseline = b
+		if r.NsPerOp > 0 {
+			r.Speedup = round2(b.NsPerOp / r.NsPerOp)
+		}
+		if r.AllocsPerOp > 0 {
+			r.AllocsRatio = round2(b.AllocsPerOp / r.AllocsPerOp)
+		}
+		if r.BytesPerOp > 0 {
+			r.BytesRatio = round2(b.BytesPerOp / r.BytesPerOp)
+		}
+	}
+}
+
+func sortedNames(m map[string]*Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func num(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func round(v float64) float64  { return float64(int64(v + 0.5)) }
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

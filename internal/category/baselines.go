@@ -86,6 +86,7 @@ func (b *Baseline) CategorizeRows(r *relation.Relation, q *sqlparse.Query, rows 
 		if len(s) == 0 || len(candidates) == 0 {
 			break
 		}
+		lc.resetLevel()
 		var best *plan
 		if b.Kind == NoCost {
 			// Arbitrary choice without replacement (§6.1): a deterministic
@@ -148,38 +149,7 @@ func (lc *levelContext) naiveCategoricalPlan(attr string, s []*Node) *plan {
 		return nil
 	}
 	sort.Strings(values) // arbitrary order: lexicographic, ignoring occ(v)
-	pos, _ := lc.r.Schema().Lookup(attr)
-	nAttr := lc.stats.NAttr(attr)
-	order := make(map[string]int, len(values))
-	for i, v := range values {
-		order[v] = i
-	}
-	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
-	for si, n := range s {
-		buckets := make(map[string][]int)
-		for _, i := range n.Tset {
-			buckets[lc.r.Row(i)[pos].Str] = append(buckets[lc.r.Row(i)[pos].Str], i)
-		}
-		specs := make([]childSpec, 0, len(buckets))
-		for v, tset := range buckets {
-			if _, known := order[v]; !known {
-				order[v] = len(order)
-			}
-			p := 1.0
-			if nAttr > 0 {
-				p = float64(lc.stats.Occ(attr, v)) / float64(nAttr)
-				if p > 1 {
-					p = 1
-				}
-			}
-			specs = append(specs, childSpec{label: Label{Kind: LabelValue, Attr: attr, Value: v}, tset: tset, p: p})
-		}
-		sort.Slice(specs, func(a, b int) bool {
-			return order[specs[a].label.Value] < order[specs[b].label.Value]
-		})
-		pl.children[si] = specs
-	}
-	return pl
+	return lc.codePartition(attr, values, s)
 }
 
 func (lc *levelContext) naiveNumericPlan(attr string, s []*Node) *plan {
@@ -201,22 +171,20 @@ func (lc *levelContext) naiveNumericPlan(attr string, s []*Node) *plan {
 	}
 	nAttr := lc.stats.NAttr(attr)
 	pos, _ := lc.r.Schema().Lookup(attr)
+	col, err := lc.r.NumColumn(attr)
+	if err != nil {
+		return nil
+	}
 	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
 	for si, n := range s {
-		idx := make([]int, len(n.Tset))
-		copy(idx, n.Tset)
-		sort.Slice(idx, func(a, b int) bool {
-			return lc.r.Row(idx[a])[pos].Num < lc.r.Row(idx[b])[pos].Num
-		})
-		vals := make([]float64, len(idx))
-		for k, i := range idx {
-			vals[k] = lc.r.Row(i)[pos].Num
-		}
+		sp := lc.sortedProjection(n, pos, col)
+		idx := make([]int, len(sp.idx)) // buildBuckets takes ownership
+		copy(idx, sp.idx)
 		cuts := globalCuts
 		if lc.opts.EquiDepth {
-			cuts = equiDepthCuts(vals, lc.opts.MaxBuckets)
+			cuts = equiDepthCuts(sp.vals, lc.opts.MaxBuckets)
 		}
-		pl.children[si] = lc.buildBuckets(attr, vmin, vmax, cuts, vals, idx, nAttr)
+		pl.children[si] = lc.buildBuckets(attr, vmin, vmax, cuts, sp.vals, idx, nAttr)
 	}
 	return pl
 }

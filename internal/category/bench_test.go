@@ -5,13 +5,33 @@ import (
 	"testing"
 )
 
-// BenchmarkCategorize measures tree construction over growing results.
+// BenchmarkCategorize measures tree construction over growing results;
+// rows=20000 is the large synthetic dataset the columnar substrate is
+// sized against.
 func BenchmarkCategorize(b *testing.B) {
 	stats := testStats(b)
-	for _, n := range []int{200, 1000, 4000} {
+	for _, n := range []int{200, 1000, 4000, 20000} {
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
 			r := testRelation(n)
 			c := NewCategorizer(stats, Options{M: 20, X: 0.1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Categorize(r, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCategorizeParallel measures the same construction with the
+// bounded worker pool evaluating candidate attributes concurrently.
+func BenchmarkCategorizeParallel(b *testing.B) {
+	stats := testStats(b)
+	for _, n := range []int{4000, 20000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			r := testRelation(n)
+			c := NewCategorizer(stats, Options{M: 20, X: 0.1, Parallel: true})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := c.Categorize(r, nil); err != nil {

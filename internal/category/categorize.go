@@ -2,7 +2,10 @@ package category
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/sqlparse"
@@ -164,6 +167,7 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 		if len(s) == 0 || len(candidates) == 0 {
 			break
 		}
+		lc.resetLevel()
 		best := bestPlan(candidates, s, lc, lc.planFor)
 		if best == nil {
 			break // no attribute partitions anything at this level
@@ -178,31 +182,45 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 // bestPlan evaluates every candidate attribute's partitioning of S with
 // build and returns the plan minimizing the Figure 6 objective, or nil if
 // none partitions anything. With Options.Parallel the candidates are
-// evaluated concurrently; selection is order-deterministic either way (ties
-// break on candidate-list position).
+// evaluated by a bounded worker pool (at most GOMAXPROCS goroutines pulling
+// candidates off a shared counter), so a wide candidate set cannot fan out
+// into unbounded goroutines; selection is order-deterministic either way
+// (all candidates are costed and ties break on candidate-list position).
 func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(string, []*Node) *plan) *plan {
 	type scored struct {
 		pl   *plan
 		cost float64
 	}
 	results := make([]scored, len(candidates))
+	eval := func(i int) {
+		if pl := build(candidates[i], s); pl != nil {
+			results[i] = scored{pl, lc.planCost(pl, s)}
+		}
+	}
 	if lc.opts.Parallel && len(candidates) > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(candidates) {
+			workers = len(candidates)
+		}
+		var next int64
 		var wg sync.WaitGroup
-		for i, attr := range candidates {
-			wg.Add(1)
-			go func(i int, attr string) {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
 				defer wg.Done()
-				if pl := build(attr, s); pl != nil {
-					results[i] = scored{pl, lc.planCost(pl, s)}
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(candidates) {
+						return
+					}
+					eval(i)
 				}
-			}(i, attr)
+			}()
 		}
 		wg.Wait()
 	} else {
-		for i, attr := range candidates {
-			if pl := build(attr, s); pl != nil {
-				results[i] = scored{pl, lc.planCost(pl, s)}
-			}
+		for i := range candidates {
+			eval(i)
 		}
 	}
 	var best *plan
@@ -221,7 +239,7 @@ func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(strin
 // oversized filters the frontier to the categories that must be partitioned:
 // |tset(C)| > M (§5.2).
 func oversized(frontier []*Node, m int) []*Node {
-	var s []*Node
+	s := make([]*Node, 0, len(frontier))
 	for _, n := range frontier {
 		if n.Size() > m {
 			s = append(s, n)
@@ -241,10 +259,13 @@ func presentInSchema(attrs []string, r *relation.Relation) []string {
 	return out
 }
 
+// removeAttr returns attrs without attr (case-insensitively). It always
+// allocates a fresh slice: attrs may be the caller's Options.CandidateAttrs,
+// whose backing array must survive the level loop untouched.
 func removeAttr(attrs []string, attr string) []string {
-	out := attrs[:0]
+	out := make([]string, 0, len(attrs))
 	for _, a := range attrs {
-		if !equalFoldContains([]string{attr}, a) {
+		if !strings.EqualFold(a, attr) {
 			out = append(out, a)
 		}
 	}

@@ -538,3 +538,35 @@ func TestProbabilityBounds(t *testing.T) {
 		})
 	}
 }
+
+// TestCandidateAttrsNotMutated guards the removeAttr fix: the level loop
+// narrows the candidate set as attributes are used, and an in-place
+// removal (append over attrs[:0]) would scribble over the caller's
+// Options.CandidateAttrs backing array — corrupting the caller's slice and
+// any later categorization sharing it.
+func TestCandidateAttrsNotMutated(t *testing.T) {
+	r := testRelation(500)
+	cands := []string{"neighborhood", "price", "bedrooms", "propertytype"}
+	want := append([]string(nil), cands...)
+	c := NewCategorizer(testStats(t), Options{M: 20, CandidateAttrs: cands})
+	tree, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatalf("Categorize: %v", err)
+	}
+	if len(tree.LevelAttrs) < 2 {
+		t.Fatalf("want >= 2 levels so removeAttr runs more than once, got %v", tree.LevelAttrs)
+	}
+	for i := range cands {
+		if cands[i] != want[i] {
+			t.Fatalf("caller's CandidateAttrs mutated: got %v, want %v", cands, want)
+		}
+	}
+	// A second run over the same Options must see the full candidate set.
+	tree2, err := c.Categorize(r, nil)
+	if err != nil {
+		t.Fatalf("second Categorize: %v", err)
+	}
+	if len(tree2.LevelAttrs) != len(tree.LevelAttrs) {
+		t.Fatalf("second run built a different tree: %v vs %v", tree2.LevelAttrs, tree.LevelAttrs)
+	}
+}

@@ -66,3 +66,14 @@ func twoLevelCostAll(parentSize int, pw, k float64, childSizes []int, childP []f
 	}
 	return pw*float64(parentSize) + (1-pw)*showcat
 }
+
+// twoLevelCostAllSpecs is twoLevelCostAll reading sizes and probabilities
+// straight from a plan's childSpecs, so the search's inner loop does not
+// re-materialize them as throw-away slices.
+func twoLevelCostAllSpecs(parentSize int, pw, k float64, specs []childSpec) float64 {
+	showcat := k * float64(len(specs))
+	for i := range specs {
+		showcat += specs[i].p * float64(len(specs[i].tset))
+	}
+	return pw*float64(parentSize) + (1-pw)*showcat
+}

@@ -109,6 +109,9 @@ func (e *enumerator) search(frontier []*Node, attrs []string) error {
 	if len(s) == 0 || len(attrs) == 0 {
 		return e.complete(frontier)
 	}
+	// Fresh per-level sort cache: every cut-set plan of this level reuses
+	// the same (node, attribute) permutations instead of re-sorting.
+	e.lc.resetLevel()
 	extended := false
 	for ai, attr := range attrs {
 		plans, err := e.levelChoices(attr, s)
@@ -188,23 +191,22 @@ func (e *enumerator) levelChoices(attr string, s []*Node) ([]*plan, error) {
 	return plans, nil
 }
 
-// numericPlanWithCuts materializes the bucket plan for a fixed cut set.
+// numericPlanWithCuts materializes the bucket plan for a fixed cut set,
+// reusing the level's cached value-sorted permutations.
 func (e *enumerator) numericPlanWithCuts(attr string, s []*Node, vmin, vmax float64, cuts []float64) *plan {
 	lc := e.lc
 	nAttr := lc.stats.NAttr(attr)
 	pos, _ := lc.r.Schema().Lookup(attr)
+	col, err := lc.r.NumColumn(attr)
+	if err != nil {
+		return nil
+	}
 	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
 	for si, n := range s {
-		idx := make([]int, len(n.Tset))
-		copy(idx, n.Tset)
-		sort.Slice(idx, func(a, b int) bool {
-			return lc.r.Row(idx[a])[pos].Num < lc.r.Row(idx[b])[pos].Num
-		})
-		vals := make([]float64, len(idx))
-		for k, i := range idx {
-			vals[k] = lc.r.Row(i)[pos].Num
-		}
-		pl.children[si] = lc.buildBuckets(attr, vmin, vmax, cuts, vals, idx, nAttr)
+		sp := lc.sortedProjection(n, pos, col)
+		idx := make([]int, len(sp.idx)) // buildBuckets takes ownership
+		copy(idx, sp.idx)
+		pl.children[si] = lc.buildBuckets(attr, vmin, vmax, cuts, sp.vals, idx, nAttr)
 	}
 	return pl
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/relation"
 	"repro/internal/sqlparse"
@@ -64,6 +65,143 @@ type levelContext struct {
 	// queries compatible with the node's root path.
 	corr   *workload.CondIndex
 	compat map[*Node][]int
+
+	// perms caches each frontier node's tuple-set sorted by a numeric
+	// attribute, shared across the bestPlan fan-out (and across the
+	// enumerator's many cut-set plans) so no candidate evaluation ever
+	// re-sorts a (node, attribute) pair. Reset per level via resetLevel.
+	permMu sync.Mutex
+	perms  map[permKey]*sortedProj
+
+	// scratch pools counting-sort arenas for categorical plans so the
+	// bounded worker pool reuses buffers instead of allocating
+	// O(candidates × nodes) garbage per level.
+	scratch sync.Pool // holds *catScratch
+}
+
+// permKey identifies one (frontier node, numeric attribute) sort.
+type permKey struct {
+	n   *Node
+	pos int // attribute position in the schema
+}
+
+// sortedProj is a node's tuple-set sorted by one numeric attribute: idx is
+// the permutation of the node's Tset, vals the parallel ascending values.
+// Both are cache-owned; callers must copy idx before handing slices of it
+// to a tree.
+type sortedProj struct {
+	idx  []int
+	vals []float64
+}
+
+// resetLevel clears the per-level caches; call whenever the frontier the
+// partitioners see changes.
+func (lc *levelContext) resetLevel() {
+	lc.permMu.Lock()
+	if lc.perms == nil {
+		lc.perms = make(map[permKey]*sortedProj)
+	} else {
+		clear(lc.perms) // reuse the buckets level over level
+	}
+	lc.permMu.Unlock()
+}
+
+// sortedProjection returns the cached value-sorted permutation of n's
+// tuple-set for the numeric attribute at schema position pos (col is that
+// attribute's columnar projection), computing and caching it on first use.
+// Safe for concurrent use by the candidate workers; each (node, attribute)
+// pair is sorted at most once per level.
+func (lc *levelContext) sortedProjection(n *Node, pos int, col []float64) *sortedProj {
+	key := permKey{n, pos}
+	lc.permMu.Lock()
+	sp, ok := lc.perms[key]
+	lc.permMu.Unlock()
+	if ok {
+		return sp
+	}
+	// The browsing-mode root categorizes the whole relation in row order;
+	// its sort is identical on every request, so serve it from the
+	// relation's cached full-table projection instead of re-sorting.
+	if len(n.Tset) == lc.r.Len() && isIdentity(n.Tset) {
+		attr := lc.r.Schema().Attr(pos).Name
+		if rows, vals, err := lc.r.NumSorted(attr); err == nil {
+			sp = &sortedProj{idx: rows, vals: vals}
+			return lc.storePerm(key, sp)
+		}
+	}
+	// Sort outside the lock: distinct (node, attribute) pairs proceed in
+	// parallel. SortByValue reproduces the historical per-node sort's
+	// permutation exactly, ties included — the golden tree fixtures pin
+	// this.
+	idx, vals := relation.SortByValue(col, n.Tset)
+	return lc.storePerm(key, &sortedProj{idx: idx, vals: vals})
+}
+
+// storePerm publishes a computed projection, keeping the first one stored
+// if another worker raced us to the same (node, attribute) pair.
+func (lc *levelContext) storePerm(key permKey, sp *sortedProj) *sortedProj {
+	lc.permMu.Lock()
+	if prev, ok := lc.perms[key]; ok {
+		sp = prev
+	} else if lc.perms != nil {
+		lc.perms[key] = sp
+	}
+	lc.permMu.Unlock()
+	return sp
+}
+
+// isIdentity reports whether tset is exactly 0,1,2,…,len-1.
+func isIdentity(tset []int) bool {
+	for k, v := range tset {
+		if v != k {
+			return false
+		}
+	}
+	return true
+}
+
+// catScratch is a reusable counting-sort arena for categorical plans. The
+// counts slice is kept all-zero between uses (each user resets only the
+// entries it touched); orderOf and the rest are overwritten per plan.
+type catScratch struct {
+	counts  []int32  // per code: bucket size, then fill cursor; zeroed after
+	orderOf []int32  // per code: presentation rank; -1 = not yet ranked
+	present []uint32 // distinct codes of the current node
+	ranks   codesByRank
+}
+
+// codesByRank sorts a node's present codes by presentation rank without
+// allocating (sort.Sort on a pooled pointer receiver).
+type codesByRank struct {
+	codes []uint32
+	rank  []int32
+}
+
+func (s *codesByRank) Len() int           { return len(s.codes) }
+func (s *codesByRank) Less(i, j int) bool { return s.rank[s.codes[i]] < s.rank[s.codes[j]] }
+func (s *codesByRank) Swap(i, j int)      { s.codes[i], s.codes[j] = s.codes[j], s.codes[i] }
+
+// catScratchFor checks a scratch arena out of the pool, sized for a
+// dictionary of card codes. Return it with lc.scratch.Put.
+func (lc *levelContext) catScratchFor(card int) *catScratch {
+	sc, _ := lc.scratch.Get().(*catScratch)
+	if sc == nil {
+		sc = &catScratch{}
+	}
+	if cap(sc.counts) < card {
+		sc.counts = make([]int32, card)
+	} else {
+		sc.counts = sc.counts[:card]
+	}
+	if cap(sc.orderOf) < card {
+		sc.orderOf = make([]int32, card)
+	} else {
+		sc.orderOf = sc.orderOf[:card]
+	}
+	for i := range sc.orderOf {
+		sc.orderOf[i] = -1
+	}
+	return sc
 }
 
 // pathPred converts a label into the workload-side path predicate; closed
@@ -128,19 +266,25 @@ func (lc *levelContext) domainValues(attr string, s []*Node) []string {
 		}
 	}
 	if values == nil {
-		seen := make(map[string]struct{})
-		pos, ok := lc.r.Schema().Lookup(attr)
-		if !ok {
+		col, err := lc.r.CatColumn(attr)
+		if err != nil {
 			return nil
 		}
+		seen := make([]bool, col.Card())
+		distinct := 0
 		for _, n := range s {
 			for _, i := range n.Tset {
-				seen[lc.r.Row(i)[pos].Str] = struct{}{}
+				if c := col.Codes[i]; !seen[c] {
+					seen[c] = true
+					distinct++
+				}
 			}
 		}
-		values = make([]string, 0, len(seen))
-		for v := range seen {
-			values = append(values, v)
+		values = make([]string, 0, distinct)
+		for c, hit := range seen {
+			if hit {
+				values = append(values, col.Dict[c])
+			}
 		}
 	}
 	sort.Slice(values, func(i, j int) bool {
@@ -163,14 +307,14 @@ func (lc *levelContext) domainRange(attr string, s []*Node) (vmin, vmax float64,
 		}
 	}
 	vmin, vmax = math.Inf(1), math.Inf(-1)
-	pos, found := lc.r.Schema().Lookup(attr)
-	if !found {
+	col, err := lc.r.NumColumn(attr)
+	if err != nil {
 		return 0, 0, false
 	}
 	any := false
 	for _, n := range s {
 		for _, i := range n.Tset {
-			v := lc.r.Row(i)[pos].Num
+			v := col[i]
 			if v < vmin {
 				vmin = v
 			}
@@ -191,48 +335,98 @@ func (lc *levelContext) categoricalPlan(attr string, s []*Node) *plan {
 	if len(scl) == 0 {
 		return nil
 	}
-	pos, _ := lc.r.Schema().Lookup(attr)
 	nAttr := lc.stats.NAttr(attr)
-	pOf := func(v string) float64 {
-		if nAttr == 0 {
-			return 1
-		}
-		p := float64(lc.stats.Occ(attr, v)) / float64(nAttr)
-		if p > 1 {
-			p = 1
-		}
-		return p
-	}
-	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
-	order := make(map[string]int, len(scl))
-	for i, v := range scl {
-		order[v] = i
+	pl := lc.codePartition(attr, scl, s)
+	if pl == nil {
+		return nil
 	}
 	for si, n := range s {
-		buckets := make(map[string][]int)
-		for _, i := range n.Tset {
-			v := lc.r.Row(i)[pos].Str
-			buckets[v] = append(buckets[v], i)
-		}
-		specs := make([]childSpec, 0, len(buckets))
-		for v, tset := range buckets {
-			if _, known := order[v]; !known {
-				// Value outside the query's IN clause cannot appear in R
-				// when the query constrains attr; when browsing, scl already
-				// covers the domain. Guard anyway.
-				order[v] = len(order)
-			}
-			specs = append(specs, childSpec{
-				label: Label{Kind: LabelValue, Attr: attr, Value: v},
-				tset:  tset,
-				p:     pOf(v),
-			})
-		}
-		sort.Slice(specs, func(a, b int) bool {
-			return order[specs[a].label.Value] < order[specs[b].label.Value]
-		})
-		specs = lc.mergeOther(attr, specs, nAttr)
+		specs := lc.mergeOther(attr, pl.children[si], nAttr)
 		lc.applyConditional(pl, si, n, specs)
+		pl.children[si] = specs
+	}
+	return pl
+}
+
+// codePartition partitions every node in S by the attribute's dictionary
+// codes with a counting sort, emitting one single-value childSpec per
+// occurring value, ordered by the value's rank in scl (values outside scl —
+// only possible when a query's IN clause understates the data — rank after
+// it, in first-encounter order). Bucket tuple order is the node's Tset
+// order, and each node's tuple-sets share one arena allocation. The
+// exploration probability of value v is occ(v)/NAttr capped at 1 (1 when
+// the workload never uses the attribute) — the independent estimate both
+// the cost-based and the baseline partitioners use.
+func (lc *levelContext) codePartition(attr string, scl []string, s []*Node) *plan {
+	col, err := lc.r.CatColumn(attr)
+	if err != nil {
+		return nil
+	}
+	nAttr := lc.stats.NAttr(attr)
+	sc := lc.catScratchFor(col.Card())
+	defer lc.scratch.Put(sc)
+	rank := int32(0)
+	for _, v := range scl {
+		if c, ok := col.Code(v); ok {
+			sc.orderOf[c] = rank
+		}
+		rank++
+	}
+	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
+	for si, n := range s {
+		present := sc.present[:0]
+		for _, row := range n.Tset {
+			c := col.Codes[row]
+			if sc.counts[c] == 0 {
+				if sc.orderOf[c] < 0 {
+					sc.orderOf[c] = rank
+					rank++
+				}
+				present = append(present, c)
+			}
+			sc.counts[c]++
+		}
+		sc.present = present // keep any growth for the next node
+		sc.ranks = codesByRank{codes: present, rank: sc.orderOf}
+		sort.Sort(&sc.ranks)
+
+		// Lay the buckets out consecutively in one arena; counts[c] becomes
+		// the fill cursor of value c's bucket. The arena is freshly
+		// allocated because the winning plan's tuple-sets live on in the
+		// tree.
+		arena := make([]int, len(n.Tset))
+		specs := make([]childSpec, len(present))
+		off := int32(0)
+		for k, c := range present {
+			v := col.Dict[c]
+			p := 1.0
+			if nAttr > 0 {
+				p = float64(lc.stats.Occ(attr, v)) / float64(nAttr)
+				if p > 1 {
+					p = 1
+				}
+			}
+			specs[k] = childSpec{label: Label{Kind: LabelValue, Attr: attr, Value: v}, p: p}
+			cnt := sc.counts[c]
+			sc.counts[c] = off
+			off += cnt
+		}
+		for _, row := range n.Tset {
+			c := col.Codes[row]
+			arena[sc.counts[c]] = row
+			sc.counts[c]++
+		}
+		// After the fill, counts[c] is the end offset of c's bucket and the
+		// buckets are consecutive, so bucket k spans [end(k−1), end(k)). The
+		// three-index slice keeps a later append (mergeOther) from spilling
+		// into the neighbouring bucket.
+		start := int32(0)
+		for k, c := range present {
+			end := sc.counts[c]
+			specs[k].tset = arena[start:end:end]
+			start = end
+			sc.counts[c] = 0 // restore the all-zero invariant
+		}
 		pl.children[si] = specs
 	}
 	return pl
@@ -312,18 +506,18 @@ func (lc *levelContext) numericPlan(attr string, s []*Node) *plan {
 	nAttr := lc.stats.NAttr(attr)
 	pl := &plan{attr: attr, children: make([][]childSpec, len(s))}
 	pos, _ := lc.r.Schema().Lookup(attr)
+	col, err := lc.r.NumColumn(attr)
+	if err != nil {
+		return nil
+	}
 	for si, n := range s {
-		vals := make([]float64, len(n.Tset))
-		idx := make([]int, len(n.Tset))
-		copy(idx, n.Tset)
-		sort.Slice(idx, func(a, b int) bool {
-			return lc.r.Row(idx[a])[pos].Num < lc.r.Row(idx[b])[pos].Num
-		})
-		for k, i := range idx {
-			vals[k] = lc.r.Row(i)[pos].Num
-		}
-		cuts := selectSplitpoints(spl, vals, lc.maxBuckets(spl)-1, lc.opts.MinBucket)
-		specs := lc.buildBuckets(attr, vmin, vmax, cuts, vals, idx, nAttr)
+		sp := lc.sortedProjection(n, pos, col)
+		// buildBuckets takes ownership of idx (the tree keeps slices of it),
+		// so hand it a copy and leave the cached permutation untouched.
+		idx := make([]int, len(sp.idx))
+		copy(idx, sp.idx)
+		cuts := selectSplitpoints(spl, sp.vals, lc.maxBuckets(spl)-1, lc.opts.MinBucket)
+		specs := lc.buildBuckets(attr, vmin, vmax, cuts, sp.vals, idx, nAttr)
 		lc.applyConditional(pl, si, n, specs)
 		pl.children[si] = specs
 	}
@@ -360,7 +554,7 @@ func selectSplitpoints(spl []workload.Splitpoint, vals []float64, need, minBucke
 	if need <= 0 || len(vals) == 0 {
 		return nil
 	}
-	var cuts []float64                    // kept sorted
+	cuts := make([]float64, 0, need)      // kept sorted
 	countIn := func(lo, hi float64) int { // tuples with lo <= v < hi
 		return sort.SearchFloat64s(vals, hi) - sort.SearchFloat64s(vals, lo)
 	}
@@ -390,15 +584,17 @@ func selectSplitpoints(spl []workload.Splitpoint, vals []float64, need, minBucke
 }
 
 // buildBuckets materializes the ascending bucket children for one node from
-// the chosen cuts. idx/vals are the node's tuples sorted by attribute value.
-// Empty buckets are dropped; the last kept bucket closes its upper bound so
-// vmax is covered.
+// the chosen cuts. idx/vals are the node's tuples sorted by attribute value;
+// buildBuckets takes ownership of idx — the buckets are disjoint contiguous
+// ranges of it, so each tuple-set is a subslice and the caller must not
+// reuse or modify idx afterwards. Empty buckets are dropped; the last kept
+// bucket closes its upper bound so vmax is covered.
 func (lc *levelContext) buildBuckets(attr string, vmin, vmax float64, cuts, vals []float64, idx []int, nAttr int) []childSpec {
 	bounds := make([]float64, 0, len(cuts)+2)
 	bounds = append(bounds, vmin)
 	bounds = append(bounds, cuts...)
 	bounds = append(bounds, vmax)
-	var specs []childSpec
+	specs := make([]childSpec, 0, len(bounds)-1)
 	for b := 0; b+1 < len(bounds); b++ {
 		lo, hi := bounds[b], bounds[b+1]
 		last := b+2 == len(bounds)
@@ -424,7 +620,7 @@ func (lc *levelContext) buildBuckets(attr string, vmin, vmax float64, cuts, vals
 				p = 1
 			}
 		}
-		specs = append(specs, childSpec{label: label, tset: append([]int(nil), idx[start:end]...), p: p})
+		specs = append(specs, childSpec{label: label, tset: idx[start:end:end], p: p})
 	}
 	return specs
 }
@@ -458,24 +654,28 @@ func (lc *levelContext) planCost(pl *plan, s []*Node) float64 {
 	indepPw := lc.est.ShowTuplesProb(pl.attr)
 	total := 0.0
 	for si, n := range s {
-		specs := pl.children[si]
-		sizes := make([]int, len(specs))
-		ps := make([]float64, len(specs))
-		for i, sp := range specs {
-			sizes[i] = len(sp.tset)
-			ps[i] = sp.p
-		}
-		total += n.P * twoLevelCostAll(n.Size(), pl.nodePw(si, indepPw), lc.opts.K, sizes, ps)
+		total += n.P * twoLevelCostAllSpecs(n.Size(), pl.nodePw(si, indepPw), lc.opts.K, pl.children[si])
 	}
 	return total
 }
 
 // attach materializes the winning plan: each node in S gets the plan's
 // children, its SubAttr, and its non-leaf SHOWTUPLES probability; the new
-// children start as leaves (Pw = 1). It returns the new frontier.
+// children start as leaves (Pw = 1). All of the level's nodes come from one
+// arena allocation — a level attaches hundreds of categories at paper
+// scale, and one &Node{} per category was the categorizer's single largest
+// allocation source. It returns the new frontier.
 func (lc *levelContext) attach(pl *plan, s []*Node) []*Node {
 	indepPw := lc.est.ShowTuplesProb(pl.attr)
-	var frontier []*Node
+	total := 0
+	for _, specs := range pl.children {
+		if len(specs) > 1 {
+			total += len(specs)
+		}
+	}
+	arena := make([]Node, total)
+	frontier := make([]*Node, 0, total)
+	k := 0
 	for si, n := range s {
 		specs := pl.children[si]
 		if len(specs) <= 1 {
@@ -483,8 +683,13 @@ func (lc *levelContext) attach(pl *plan, s []*Node) []*Node {
 		}
 		n.SubAttr = pl.attr
 		n.Pw = pl.nodePw(si, indepPw)
+		if cap(n.Children) < len(specs) {
+			n.Children = make([]*Node, 0, len(specs))
+		}
 		for _, sp := range specs {
-			child := &Node{Label: sp.label, Tset: sp.tset, P: sp.p, Pw: 1}
+			child := &arena[k]
+			k++
+			*child = Node{Label: sp.label, Tset: sp.tset, P: sp.p, Pw: 1}
 			n.Children = append(n.Children, child)
 			frontier = append(frontier, child)
 			if lc.corr != nil {

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBuildColumns measures the columnar projection build: one
+// dictionary-encoded categorical column plus two dense numeric columns.
+func BenchmarkBuildColumns(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			r := relationOfSize(n, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.dropColumns()
+				if err := r.BuildColumns(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortByValue measures the pair-sort that backs every numeric
+// partitioning: project, pack, pdqsort, unpack.
+func BenchmarkSortByValue(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			r := relationOfSize(n, 7)
+			col, err := r.NumColumn("price")
+			if err != nil {
+				b.Fatal(err)
+			}
+			tset := r.Select(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, _ := SortByValue(col, tset)
+				if len(rows) != n {
+					b.Fatal("bad sort")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCatColumnLookup measures the dictionary binary search used to
+// rank presentation-ordered values into codes.
+func BenchmarkCatColumnLookup(b *testing.B) {
+	r := relationOfSize(20000, 7)
+	col, err := r.CatColumn("neighborhood")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := col.Code("Seattle, WA"); !ok {
+			b.Fatal("missing value")
+		}
+	}
+}
+
+// BenchmarkCatCandidates measures the multi-value IN lookup whose sorted
+// posting lists are combined by the pairwise merge ladder.
+func BenchmarkCatCandidates(b *testing.B) {
+	r := relationOfSize(20000, 7)
+	if err := r.BuildIndex(); err != nil {
+		b.Fatal(err)
+	}
+	p := NewIn("neighborhood", "Bellevue, WA", "Redmond, WA", "Seattle, WA")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		list, ok := r.catCandidates(p)
+		if !ok || len(list) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package relation
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Columnar projections. The categorizer's level-by-level search reads the
+// same one or two attributes for every tuple of every frontier node, per
+// candidate attribute, per level — a column-at-a-time access pattern that
+// row-wise Tuple storage serves badly (every read drags the whole row
+// through the cache and hashes strings). A projection materializes one
+// attribute as a dense, cache-friendly array:
+//
+//   - numeric attributes project to a []float64 indexed by row id;
+//   - categorical attributes project to dictionary codes: a []uint32 per
+//     row plus a sorted value table, so partitioning becomes integer
+//     counting-sort instead of string hashing.
+//
+// Projections are immutable snapshots, built lazily on first access (or
+// eagerly by BuildIndex/BuildColumns) and cached on the Relation. Appending
+// a row invalidates them together with the secondary indexes; the next
+// access rebuilds. Concurrent readers are safe: the cache is mutex-guarded
+// and the returned slices are never mutated after publication.
+
+// CatColumn is the dictionary-encoded projection of one categorical
+// attribute. Codes[i] is the code of row i's value; Dict is sorted
+// ascending, so codes compare in lexicographic value order. Both slices are
+// shared snapshots — callers must not modify them.
+type CatColumn struct {
+	Codes []uint32
+	Dict  []string
+}
+
+// Value decodes row i's value.
+func (c *CatColumn) Value(i int) string { return c.Dict[c.Codes[i]] }
+
+// Card returns the number of distinct values (the dictionary size).
+func (c *CatColumn) Card() int { return len(c.Dict) }
+
+// Code returns the dictionary code of v and whether v occurs in the column.
+func (c *CatColumn) Code(v string) (uint32, bool) {
+	i := sort.SearchStrings(c.Dict, v)
+	if i < len(c.Dict) && c.Dict[i] == v {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// columnCache holds the lazily-built projections of a Relation.
+type columnCache struct {
+	mu     sync.Mutex
+	cat    map[string]*CatColumn // keyed by lower-cased attribute name
+	num    map[string][]float64
+	sorted map[string]*numSorted
+}
+
+// numSorted is the whole relation ordered by one numeric attribute.
+type numSorted struct {
+	rows []int
+	vals []float64
+}
+
+// SortByValue returns tset's rows ordered by ascending col value, together
+// with the parallel value slice. The permutation is exactly what pdqsort
+// produces over tset with a plain `<` comparator — the categorizer's
+// historical per-node sort — but runs over packed (value, row) pairs, so no
+// comparison gathers through the column. Ties therefore land in the same
+// (deterministic) order as before the columnar rewrite.
+func SortByValue(col []float64, tset []int) (rows []int, vals []float64) {
+	pairs := pairsFor(len(tset))
+	for k, i := range tset {
+		pairs[k] = valRow{v: col[i], row: int32(i)}
+	}
+	sortValRows(pairs)
+	rows = make([]int, len(pairs))
+	vals = make([]float64, len(pairs))
+	for k, p := range pairs {
+		rows[k] = int(p.row)
+		vals[k] = p.v
+	}
+	pairPool.Put(&pairs)
+	return rows, vals
+}
+
+// pairPool recycles the transient (value, row) buffers of SortByValue: the
+// level-by-level search sorts one buffer per (node, attribute) pair and
+// discards it immediately, so without pooling the sort loop dominates the
+// allocator.
+var pairPool = sync.Pool{New: func() any { s := make([]valRow, 0, 1024); return &s }}
+
+func pairsFor(n int) []valRow {
+	p := pairPool.Get().(*[]valRow)
+	if cap(*p) < n {
+		*p = make([]valRow, n)
+	}
+	return (*p)[:n]
+}
+
+type valRow struct {
+	v   float64
+	row int32
+}
+
+func sortValRows(pairs []valRow) {
+	// slices.SortFunc is the same pdqsort as sort.Slice minus the
+	// reflection; with this comparator its comparison outcomes — and hence
+	// the final permutation, ties included — match the historical
+	// sort.Slice(idx, func(a,b) { col[idx[a]] < col[idx[b]] }) exactly.
+	slices.SortFunc(pairs, func(a, b valRow) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case b.v < a.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// NumSorted returns the relation's rows ordered by the named numeric
+// attribute, with the parallel sorted values — the full-relation case of
+// SortByValue, built once and cached (browsing-mode categorization sorts
+// the entire result set at its root for every numeric candidate, on every
+// request). The returned slices are shared snapshots; callers must not
+// modify them.
+func (r *Relation) NumSorted(attr string) (rows []int, vals []float64, err error) {
+	col, err := r.NumColumn(attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := lower(r.schema.Attr(mustPos(r.schema, attr)).Name)
+	r.cols.mu.Lock()
+	defer r.cols.mu.Unlock()
+	if s, ok := r.cols.sorted[key]; ok {
+		return s.rows, s.vals, nil
+	}
+	pairs := pairsFor(len(col))
+	for i, v := range col {
+		pairs[i] = valRow{v: v, row: int32(i)}
+	}
+	sortValRows(pairs)
+	s := &numSorted{rows: make([]int, len(pairs)), vals: make([]float64, len(pairs))}
+	for k, p := range pairs {
+		s.rows[k] = int(p.row)
+		s.vals[k] = p.v
+	}
+	pairPool.Put(&pairs)
+	if r.cols.sorted == nil {
+		r.cols.sorted = make(map[string]*numSorted)
+	}
+	r.cols.sorted[key] = s
+	return s.rows, s.vals, nil
+}
+
+func mustPos(s *Schema, attr string) int {
+	pos, _ := s.Lookup(attr)
+	return pos
+}
+
+// CatColumn returns the dictionary-encoded projection of the named
+// categorical attribute, building and caching it on first use. It errors if
+// the attribute is missing or numeric.
+func (r *Relation) CatColumn(attr string) (*CatColumn, error) {
+	pos, ok := r.schema.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q to project", r.Name, attr)
+	}
+	if r.schema.Attr(pos).Type != Categorical {
+		return nil, fmt.Errorf("relation %s: attribute %q is not categorical", r.Name, attr)
+	}
+	key := lower(r.schema.Attr(pos).Name)
+	r.cols.mu.Lock()
+	defer r.cols.mu.Unlock()
+	if c, ok := r.cols.cat[key]; ok {
+		return c, nil
+	}
+	c := r.buildCatColumn(pos)
+	if r.cols.cat == nil {
+		r.cols.cat = make(map[string]*CatColumn)
+	}
+	r.cols.cat[key] = c
+	return c, nil
+}
+
+// NumColumn returns the dense projection of the named numeric attribute,
+// building and caching it on first use. It errors if the attribute is
+// missing or categorical.
+func (r *Relation) NumColumn(attr string) ([]float64, error) {
+	pos, ok := r.schema.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q to project", r.Name, attr)
+	}
+	if r.schema.Attr(pos).Type != Numeric {
+		return nil, fmt.Errorf("relation %s: attribute %q is not numeric", r.Name, attr)
+	}
+	key := lower(r.schema.Attr(pos).Name)
+	r.cols.mu.Lock()
+	defer r.cols.mu.Unlock()
+	if c, ok := r.cols.num[key]; ok {
+		return c, nil
+	}
+	c := make([]float64, len(r.rows))
+	for i, row := range r.rows {
+		c[i] = row[pos].Num
+	}
+	if r.cols.num == nil {
+		r.cols.num = make(map[string][]float64)
+	}
+	r.cols.num[key] = c
+	return c, nil
+}
+
+// BuildColumns eagerly materializes projections for the named attributes
+// (all attributes when none are given), so later concurrent readers never
+// pay the build inside a hot path. BuildIndex calls it for the same set.
+func (r *Relation) BuildColumns(attrs ...string) error {
+	if len(attrs) == 0 {
+		attrs = make([]string, r.schema.Len())
+		for i := range attrs {
+			attrs[i] = r.schema.Attr(i).Name
+		}
+	}
+	for _, attr := range attrs {
+		pos, ok := r.schema.Lookup(attr)
+		if !ok {
+			return fmt.Errorf("relation %s: no attribute %q to project", r.Name, attr)
+		}
+		var err error
+		if r.schema.Attr(pos).Type == Categorical {
+			_, err = r.CatColumn(attr)
+		} else {
+			_, err = r.NumColumn(attr)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildCatColumn dictionary-encodes column pos. Called with cols.mu held.
+func (r *Relation) buildCatColumn(pos int) *CatColumn {
+	codeOf := make(map[string]uint32, 64)
+	var dict []string
+	for _, row := range r.rows {
+		v := row[pos].Str
+		if _, ok := codeOf[v]; !ok {
+			codeOf[v] = 0
+			dict = append(dict, v)
+		}
+	}
+	sort.Strings(dict)
+	for i, v := range dict {
+		codeOf[v] = uint32(i)
+	}
+	codes := make([]uint32, len(r.rows))
+	for i, row := range r.rows {
+		codes[i] = codeOf[row[pos].Str]
+	}
+	return &CatColumn{Codes: codes, Dict: dict}
+}
+
+// dropColumns invalidates all cached projections (rows changed).
+func (r *Relation) dropColumns() {
+	r.cols.mu.Lock()
+	r.cols.cat = nil
+	r.cols.num = nil
+	r.cols.sorted = nil
+	r.cols.mu.Unlock()
+}

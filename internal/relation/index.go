@@ -20,9 +20,14 @@ type numIndex struct {
 }
 
 // BuildIndex builds secondary indexes on the named attributes (all
-// attributes when none are given). Appending rows afterwards drops all
-// indexes; rebuild when loading is done.
+// attributes when none are given), and materializes the columnar
+// projections (column.go) for the same attributes so the categorizer's hot
+// path never builds them lazily under load. Appending rows afterwards drops
+// all indexes and projections; rebuild when loading is done.
 func (r *Relation) BuildIndex(attrs ...string) error {
+	if err := r.BuildColumns(attrs...); err != nil {
+		return err
+	}
 	if len(attrs) == 0 {
 		attrs = make([]string, r.schema.Len())
 		for i := range attrs {
@@ -126,21 +131,56 @@ func (r *Relation) catCandidates(p *In) ([]int, bool) {
 		}
 	}
 	var lists [][]int
-	total := 0
 	for v := range p.Values {
 		if l := idx[v]; len(l) > 0 {
 			lists = append(lists, l)
-			total += len(l)
 		}
 	}
-	// Value lists are disjoint (one value per row), so a k-way merge of
-	// sorted lists yields a sorted union.
-	out := make([]int, 0, total)
-	for _, l := range lists {
-		out = append(out, l...)
+	// Value lists are disjoint (one value per row) and individually sorted,
+	// so a pairwise merge ladder yields the sorted union in O(n log k)
+	// without re-sorting.
+	return mergeSorted(lists), true
+}
+
+// mergeSorted merges sorted, disjoint int lists bottom-up, pairwise.
+func mergeSorted(lists [][]int) []int {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]int, len(lists[0]))
+		copy(out, lists[0])
+		return out
 	}
-	sort.Ints(out)
-	return out, true
+	for len(lists) > 1 {
+		next := lists[:0]
+		for i := 0; i+1 < len(lists); i += 2 {
+			next = append(next, merge2(lists[i], lists[i+1]))
+		}
+		if len(lists)%2 == 1 {
+			next = append(next, lists[len(lists)-1])
+		}
+		lists = next
+	}
+	return lists[0]
+}
+
+// merge2 merges two sorted int lists into a new sorted list.
+func merge2(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 func (r *Relation) numCandidates(p *Range) ([]int, bool) {

@@ -136,6 +136,9 @@ type Relation struct {
 	// Secondary indexes (see index.go); nil maps mean "not indexed".
 	catIdx map[string]catIndex
 	numIdx map[string]*numIndex
+
+	// Cached columnar projections (see column.go); invalidated on Append.
+	cols columnCache
 }
 
 // New creates an empty relation with the given name and schema.
@@ -160,6 +163,7 @@ func (r *Relation) Append(t Tuple) error {
 	}
 	r.rows = append(r.rows, t)
 	r.dropIndexes() // stale after mutation; rebuild with BuildIndex
+	r.dropColumns()
 	return nil
 }
 

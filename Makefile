@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all check report examples fuzz clean
+.PHONY: all build test race bench bench-all servebench check report examples fuzz clean
 
 all: build test
 
@@ -14,11 +14,13 @@ test:
 race:
 	go test -race ./...
 
-# Vet plus the race-checked hot packages (the categorizer's worker pool and
-# the relation's column caches are the concurrent code).
+# Vet plus the race-checked hot packages: the categorizer's worker pool, the
+# relation's column caches, and the serving path (singleflight tree cache,
+# snapshot-swapped workload stats, bounded session table).
 check:
 	go vet ./...
-	go test -race ./internal/category ./internal/relation
+	go test -race ./internal/category ./internal/relation \
+		./internal/treecache ./internal/server .
 
 # The categorizer/columnar benchmarks, recorded as BENCH_categorize.json
 # (testdata/bench_seed.txt holds the pre-columnar baseline for the ratios).
@@ -34,6 +36,19 @@ bench:
 # EXPERIMENTS.md).
 bench-all:
 	go test -bench=. -benchmem ./...
+
+# The serving-path numbers, recorded as BENCH_serve.json: httptest endpoint
+# benchmarks (per-request cost, cached vs uncached) plus cmd/catload's
+# 8-client load run at paper scale (20k rows) with the cold/warm latency
+# split. Both emit go-bench-format lines, so benchjson folds them together.
+servebench:
+	{ go test -run='^$$' -bench='BenchmarkQueryEndpoint' -count=3 ./internal/server ; \
+	  go run ./cmd/catload -inproc -bench -rows 20000 -queries 10000 -n 400 -c 8 -mix 16 ; } \
+		| tee servebench_output.txt \
+		| go run ./cmd/benchjson \
+		  -note "singleflight tree cache + snapshot stats: httptest endpoint benchmarks and catload 8-client run, rows=20000" \
+		  -o BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 # The full formatted evaluation report at paper scale.
 report:
@@ -54,4 +69,4 @@ fuzz:
 	go test ./internal/relation -fuzz=FuzzReadCSV -fuzztime=30s
 
 clean:
-	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt

@@ -1,23 +1,35 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqlparse"
 )
 
 // AdaptiveSystem wraps a System and learns from the queries it serves: every
-// explored query is folded into the workload statistics incrementally, so
-// the count tables — and therefore future category trees — track the live
-// query stream instead of a frozen log. This is the online continuation of
-// the paper's offline preprocessing phase. All methods are safe for
-// concurrent use.
+// explored query is folded into the workload statistics, so the count tables
+// — and therefore future category trees — track the live query stream
+// instead of a frozen log. This is the online continuation of the paper's
+// offline preprocessing phase.
+//
+// Concurrency model: readers never block. The current System — relation,
+// statistics, derived count tables, and a generation counter — is an
+// immutable snapshot behind an atomic pointer. Learn clones the statistics
+// off the hot path, folds the new queries into the clone, and publishes the
+// result with one atomic store; in-flight explorations keep the snapshot
+// they loaded. The generation counter stamps every snapshot, so the tree
+// cache's keys from superseded generations simply stop matching (see
+// DESIGN.md §8). All methods are safe for concurrent use.
 type AdaptiveSystem struct {
-	mu  sync.RWMutex
-	sys *System
+	// learnMu serializes writers (clone → fold → publish); readers never
+	// take it.
+	learnMu sync.Mutex
+	cur     atomic.Pointer[System]
 	// learned counts queries folded in since construction.
-	learned int
+	learned atomic.Int64
 }
 
 // Adaptive wraps the system for online learning. The system must have been
@@ -28,28 +40,37 @@ func (s *System) Adaptive() (*AdaptiveSystem, error) {
 	if s.wl == nil {
 		return nil, fmt.Errorf("repro: Adaptive requires a system built from a raw workload")
 	}
-	return &AdaptiveSystem{sys: s}, nil
+	a := &AdaptiveSystem{}
+	a.cur.Store(s)
+	return a, nil
 }
 
-// Explore runs one query end to end under the read lock: execute, build the
-// tree with the given technique and options, and return the tree plus the
-// result size. Passing learn folds the query into the statistics afterwards.
+// Explore runs one query end to end against the current snapshot: execute,
+// build the tree with the given technique and options (through the tree
+// cache when the system has one), and return the tree plus the result size.
+// Passing learn folds the query into the statistics afterwards.
 func (a *AdaptiveSystem) Explore(sql string, tech Technique, opts Options, learn bool) (*Tree, int, error) {
+	tree, n, _, err := a.ExploreCtx(context.Background(), sql, tech, opts, learn)
+	return tree, n, err
+}
+
+// ExploreCtx is Explore honoring a request context and reporting whether the
+// tree came from the cache. Cancellation abandons the categorization (no
+// partial trees) and skips learning.
+func (a *AdaptiveSystem) ExploreCtx(ctx context.Context, sql string, tech Technique, opts Options, learn bool) (*Tree, int, bool, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	a.mu.RLock()
-	res := a.sys.QueryParsed(q)
-	tree, err := res.CategorizeWith(tech, opts)
-	a.mu.RUnlock()
+	sys := a.cur.Load()
+	tree, hit, err := sys.ServeParsed(ctx, q, tech, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if learn {
 		a.learn(q)
 	}
-	return tree, res.Len(), nil
+	return tree, tree.Root.Size(), hit, nil
 }
 
 // Learn folds one query into the workload statistics without executing it
@@ -63,37 +84,79 @@ func (a *AdaptiveSystem) Learn(sql string) error {
 	return nil
 }
 
-func (a *AdaptiveSystem) learn(q *Query) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.sys.stats.AddQuery(q, a.sys.wcfg)
-	a.sys.wl.Queries = append(a.sys.wl.Queries, q)
-	if a.sys.corr != nil {
-		a.sys.corr.Add(q, a.sys.wcfg)
+// LearnBatch folds several queries in one snapshot swap, amortizing the
+// clone. It fails on the first malformed query without learning any.
+func (a *AdaptiveSystem) LearnBatch(sqls []string) error {
+	qs := make([]*sqlparse.Query, len(sqls))
+	for i, sql := range sqls {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("repro: batch query %d: %w", i, err)
+		}
+		qs[i] = q
 	}
-	a.learned++
+	if len(qs) > 0 {
+		a.learn(qs...)
+	}
+	return nil
+}
+
+// learn clones the current snapshot's mutable state, folds the queries in,
+// and publishes the successor snapshot. Readers racing with the swap keep
+// whichever snapshot they loaded — both are internally consistent.
+func (a *AdaptiveSystem) learn(qs ...*sqlparse.Query) {
+	a.learnMu.Lock()
+	defer a.learnMu.Unlock()
+	old := a.cur.Load()
+	next := &System{
+		rel:   old.rel,
+		stats: old.stats.Clone(),
+		opts:  old.opts,
+		wl:    old.wl.Clone(),
+		wcfg:  old.wcfg,
+		cache: old.cache,
+		gen:   old.gen + 1,
+	}
+	if old.corr != nil {
+		next.corr = old.corr.Clone()
+	}
+	for _, q := range qs {
+		next.stats.AddQuery(q, next.wcfg)
+		next.wl.Queries = append(next.wl.Queries, q)
+		if next.corr != nil {
+			next.corr.Add(q, next.wcfg)
+		}
+	}
+	a.cur.Store(next)
+	a.learned.Add(int64(len(qs)))
 }
 
 // Learned reports how many queries have been folded in since construction.
 func (a *AdaptiveSystem) Learned() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.learned
+	return int(a.learned.Load())
 }
 
 // WorkloadSize returns the current number of mined queries (original
 // workload plus everything learned).
 func (a *AdaptiveSystem) WorkloadSize() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.sys.stats.N()
+	return a.cur.Load().stats.N()
 }
 
-// Snapshot runs f under the read lock with the underlying System, for
-// read-only operations beyond Explore (rendering stats, building rankers).
-// f must not retain the *System or mutate it.
+// Generation returns the current snapshot's generation counter: 0 at
+// construction, +1 per published Learn/LearnBatch/learning-Explore.
+func (a *AdaptiveSystem) Generation() uint64 {
+	return a.cur.Load().gen
+}
+
+// Snapshot runs f with the current immutable System snapshot, for read-only
+// operations beyond Explore (rendering stats, building rankers). The
+// snapshot stays valid — but possibly stale — after f returns; f must not
+// mutate it.
 func (a *AdaptiveSystem) Snapshot(f func(*System)) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	f(a.sys)
+	f(a.cur.Load())
+}
+
+// System returns the current immutable snapshot directly.
+func (a *AdaptiveSystem) System() *System {
+	return a.cur.Load()
 }

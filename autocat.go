@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/session"
 	"repro/internal/sqlparse"
+	"repro/internal/treecache"
 	"repro/internal/workload"
 )
 
@@ -148,6 +150,14 @@ type Config struct {
 	// per-query conditions must be retained; precomputed Stats are not
 	// enough).
 	Correlations bool
+	// TreeCacheEntries / TreeCacheBytes bound the serving path's memoized
+	// tree cache (DESIGN.md §8): semantically identical queries (canonical
+	// signature) with the same technique, options, and stats generation are
+	// served the same *Tree, and concurrent identical misses collapse into
+	// one categorization. Both zero disables caching. A zero bound on one
+	// dimension leaves that dimension unbounded.
+	TreeCacheEntries int
+	TreeCacheBytes   int64
 }
 
 // System ties a relation to preprocessed workload statistics and answers
@@ -162,6 +172,11 @@ type System struct {
 	// workload, enabling Personalize; nil for Stats-only systems.
 	wl   *Workload
 	wcfg workload.Config
+	// cache memoizes served trees (nil when disabled); gen stamps the
+	// statistics snapshot this System serves, keying the cache (§8). An
+	// AdaptiveSystem's snapshots share one cache at increasing generations.
+	cache *treecache.Cache[*Tree]
+	gen   uint64
 }
 
 // NewSystem builds a System over rel, mining the configured workload into
@@ -174,6 +189,13 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 		if err := rel.BuildIndex(); err != nil {
 			return nil, fmt.Errorf("repro: %w", err)
 		}
+	}
+	var cache *treecache.Cache[*Tree]
+	if cfg.TreeCacheEntries > 0 || cfg.TreeCacheBytes > 0 {
+		cache = treecache.New[*Tree](treecache.Config{
+			MaxEntries: cfg.TreeCacheEntries,
+			MaxBytes:   cfg.TreeCacheBytes,
+		})
 	}
 	stats := cfg.Stats
 	var corr *workload.CondIndex
@@ -204,12 +226,12 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 		if cfg.Correlations {
 			corr = workload.NewCondIndex(w, wcfg)
 		}
-		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg}, nil
+		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache}, nil
 	}
 	if cfg.Correlations {
 		return nil, fmt.Errorf("repro: Correlations requires the raw workload (WorkloadSQL or WorkloadReader), not precomputed Stats")
 	}
-	return &System{rel: rel, stats: stats, opts: cfg.Options}, nil
+	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache}, nil
 }
 
 // Personalize returns a new System whose workload statistics blend this
@@ -234,6 +256,11 @@ func (s *System) Personalize(history []string, weight int) (*System, error) {
 		opts:  s.opts,
 		wl:    merged,
 		wcfg:  s.wcfg,
+	}
+	if s.cache.Enabled() {
+		// The personalized statistics are a different key space; sharing the
+		// base cache would serve the base user's trees. Same bounds, new cache.
+		out.cache = treecache.New[*Tree](s.cache.Bounds())
 	}
 	if s.corr != nil {
 		out.corr = workload.NewCondIndex(merged, s.wcfg)
@@ -299,35 +326,30 @@ func (r *Result) CategorizeOpts(opts Options) (*Tree, error) {
 // exploration probabilities, so EstimateCostAll/EstimateCostOne work on it
 // regardless of technique.
 func (r *Result) CategorizeWith(tech Technique, opts Options) (*Tree, error) {
-	var (
-		tree *Tree
-		err  error
-	)
-	switch tech {
-	case CostBased:
-		c := category.NewCategorizer(r.sys.stats, opts)
-		c.Corr = r.sys.corr
-		tree, err = c.CategorizeRows(r.sys.rel, r.Query, r.Rows)
-		// Cost-based trees carry their (possibly path-conditional)
-		// probabilities from construction; no re-annotation.
-	case AttrCost, NoCost:
-		b := &category.Baseline{Stats: r.sys.stats, Opts: opts, Kind: tech}
-		tree, err = b.CategorizeRows(r.sys.rel, r.Query, r.Rows)
-		if err == nil {
-			est := &category.Estimator{Stats: r.sys.stats}
-			if r.sys.corr != nil {
-				est.AnnotateConditional(tree, r.sys.corr, opts.MinCondSupport)
-			} else {
-				est.Annotate(tree)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("repro: unknown technique %v", tech)
+	return r.CategorizeCtx(context.Background(), tech, opts)
+}
+
+// CategorizeCtx is CategorizeWith honoring a request context: cancellation
+// abandons the build and returns ctx's error (no partial trees). When the
+// system caches trees and the result has a query, the build goes through the
+// cache — hits return the shared memoized tree (treat it as immutable), and
+// concurrent identical misses collapse into one computation.
+func (r *Result) CategorizeCtx(ctx context.Context, tech Technique, opts Options) (*Tree, error) {
+	if r.sys.cache.Enabled() && r.Query != nil {
+		tree, _, err := r.sys.cache.Do(ctx, cacheKey(r.Query, tech, opts, r.sys.gen),
+			func(cctx context.Context) (*Tree, int64, error) {
+				tree, err := r.sys.buildTree(cctx, r.Query, r.Rows, tech, opts)
+				if err != nil {
+					return nil, 0, err
+				}
+				return tree, treeBytes(tree), nil
+			})
+		return tree, err
 	}
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return tree, nil
+	return r.sys.buildTree(ctx, r.Query, r.Rows, tech, opts)
 }
 
 // Ranker builds a workload-popularity tuple ranker for this system's

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn]
+//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn] [-cache-entries N] [-cache-mb N]
 //
 // Then:
 //
@@ -35,6 +35,9 @@ func main() {
 		wlPath  = flag.String("workload", "", "load the workload from this SQL log instead of generating")
 		corr    = flag.Bool("correlations", false, "enable the path-conditional probability model")
 		learn   = flag.Bool("learn", false, "fold every served query into the workload statistics")
+
+		cacheEntries = flag.Int("cache-entries", 256, "tree cache entry bound (0 with -cache-mb 0 disables caching)")
+		cacheMB      = flag.Int64("cache-mb", 64, "tree cache byte bound in MiB")
 	)
 	flag.Parse()
 
@@ -53,7 +56,12 @@ func main() {
 		rel = repro.DemoDataset(*rows, *seed)
 	}
 
-	cfg := repro.Config{Intervals: repro.DemoIntervals(), Correlations: *corr}
+	cfg := repro.Config{
+		Intervals:        repro.DemoIntervals(),
+		Correlations:     *corr,
+		TreeCacheEntries: *cacheEntries,
+		TreeCacheBytes:   *cacheMB << 20,
+	}
 	if *wlPath != "" {
 		f, err := os.Open(*wlPath)
 		if err != nil {

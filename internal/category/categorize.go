@@ -1,6 +1,7 @@
 package category
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -113,6 +114,11 @@ type Categorizer struct {
 	// refinement). Falls back to the independent estimates wherever the
 	// conditional sample is smaller than Opts.MinCondSupport.
 	Corr *workload.CondIndex
+	// Ctx, when non-nil, lets a serving layer abandon a categorization
+	// mid-build: the level loop and the candidate fan-out poll it and
+	// return ctx's error instead of completing the tree. Trees are never
+	// returned partially built.
+	Ctx context.Context
 }
 
 // NewCategorizer returns a Categorizer over the given workload statistics
@@ -143,7 +149,11 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 	}
 	opts := c.Opts.withDefaults()
 	est := &Estimator{Stats: c.Stats}
-	lc := &levelContext{r: r, q: q, stats: c.Stats, est: est, opts: opts, corr: c.Corr}
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lc := &levelContext{r: r, q: q, stats: c.Stats, est: est, opts: opts, corr: c.Corr, ctx: ctx}
 
 	candidates := opts.CandidateAttrs
 	if candidates == nil {
@@ -169,6 +179,12 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 		}
 		lc.resetLevel()
 		best := bestPlan(candidates, s, lc, lc.planFor)
+		if err := ctx.Err(); err != nil {
+			// A cancellation mid-fan-out may have skipped candidates; the
+			// surviving plan would be valid but not necessarily the best, so
+			// the whole build is abandoned rather than committed.
+			return nil, fmt.Errorf("category: categorization abandoned: %w", err)
+		}
 		if best == nil {
 			break // no attribute partitions anything at this level
 		}
@@ -193,6 +209,9 @@ func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(strin
 	}
 	results := make([]scored, len(candidates))
 	eval := func(i int) {
+		if lc.ctx != nil && lc.ctx.Err() != nil {
+			return // abandoned build; categorize discards the level
+		}
 		if pl := build(candidates[i], s); pl != nil {
 			results[i] = scored{pl, lc.planCost(pl, s)}
 		}

@@ -1,6 +1,7 @@
 package category
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -65,6 +66,9 @@ type levelContext struct {
 	// queries compatible with the node's root path.
 	corr   *workload.CondIndex
 	compat map[*Node][]int
+
+	// ctx aborts the build early when the serving layer abandons it.
+	ctx context.Context
 
 	// perms caches each frontier node's tuple-set sorted by a numeric
 	// attribute, shared across the bestPlan fan-out (and across the

@@ -12,18 +12,26 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro"
 )
 
+// StatusClientClosedRequest is the (nginx-conventional) status reported when
+// the client abandoned the request before the categorization finished.
+const StatusClientClosedRequest = 499
+
 // Config configures a Server.
 type Config struct {
-	// System is the query/categorization engine to serve. Required.
+	// System is the query/categorization engine to serve. Required. Build
+	// it with repro.Config.TreeCacheEntries/TreeCacheBytes to memoize served
+	// trees; the server reports hits via the X-Cache response header.
 	System *repro.System
 	// Options are the default categorizer parameters; per-request options
 	// override individual fields.
@@ -35,6 +43,13 @@ type Config struct {
 	// the system's trees adapt to its own query stream. Requires a System
 	// built from a raw workload.
 	Learn bool
+	// MaxBodyBytes bounds request bodies (413 beyond it). Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxSessions caps the in-memory exploration-session table; the
+	// least-recently-touched session is evicted at the cap. Default 1024.
+	MaxSessions int
+	// SessionTTL expires sessions untouched for this long. Default 30m.
+	SessionTTL time.Duration
 }
 
 // Server handles the HTTP API.
@@ -51,7 +66,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.System == nil {
 		return nil, errors.New("server: config requires a System")
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), sessions: newSessionTable()}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 30 * time.Minute
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL)}
 	if cfg.Learn {
 		a, err := cfg.System.Adaptive()
 		if err != nil {
@@ -88,16 +112,58 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// currentSystem returns the system snapshot to serve this request from: the
+// adaptive system's latest published snapshot, or the fixed base system.
+func (s *Server) currentSystem() *repro.System {
+	if s.adaptive != nil {
+		return s.adaptive.System()
+	}
+	return s.cfg.System
+}
+
+// decodeBody bounds and decodes a JSON request body, writing the error
+// response itself (413 for oversized bodies, 400 otherwise) and reporting
+// whether the handler may proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeServeErr maps a serving-path error to a status: cancellation of the
+// request context becomes 499 (client closed request), everything else is
+// the caller's fallback (bad SQL, unknown technique, …).
+func writeServeErr(w http.ResponseWriter, err error, fallback int) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeErr(w, StatusClientClosedRequest, "request abandoned: %v", err)
+		return
+	}
+	writeErr(w, fallback, "%v", err)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	sys := s.currentSystem()
 	body := map[string]any{
-		"status": "ok",
-		"rows":   s.cfg.System.Relation().Len(),
+		"status":     "ok",
+		"rows":       sys.Relation().Len(),
+		"generation": sys.Generation(),
 	}
 	if s.adaptive != nil {
 		body["workloadQueries"] = s.adaptive.WorkloadSize()
 		body["learned"] = s.adaptive.Learned()
 	} else {
-		body["workloadQueries"] = s.cfg.System.Stats().N()
+		body["workloadQueries"] = sys.Stats().N()
+	}
+	if sys.CacheEnabled() {
+		body["cache"] = sys.CacheStats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -163,8 +229,7 @@ type queryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tech, err := parseTechnique(req.Technique)
@@ -185,27 +250,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var (
 		tree        *repro.Tree
 		resultCount int
+		hit         bool
 	)
 	if s.adaptive != nil {
-		var err error
-		tree, resultCount, err = s.adaptive.Explore(req.SQL, tech, opts, true)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+		tree, resultCount, hit, err = s.adaptive.ExploreCtx(r.Context(), req.SQL, tech, opts, true)
 	} else {
-		res, err := s.cfg.System.Query(req.SQL)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		tree, err = res.CategorizeWith(tech, opts)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "categorization failed: %v", err)
-			return
-		}
-		resultCount = res.Len()
+		tree, resultCount, hit, err = s.cfg.System.Serve(r.Context(), req.SQL, tech, opts)
 	}
+	if err != nil {
+		writeServeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	if tree == nil {
+		writeErr(w, http.StatusInternalServerError, "categorization produced no tree")
+		return
+	}
+	setCacheHeader(w, hit)
 	maxDepth := boundOrDefault(req.MaxDepth, s.cfg.MaxDepth)
 	maxChildren := boundOrDefault(req.MaxChildren, s.cfg.MaxChildren)
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -216,6 +276,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Categories:  tree.NodeCount(),
 		Tree:        toJSONTree(tree.Root, nil, maxDepth, maxChildren),
 	})
+}
+
+// setCacheHeader reports cache disposition to clients (and to the catload
+// generator, which splits latency percentiles on it).
+func setCacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
 }
 
 // boundOrDefault combines the request bound with the server bound: the
@@ -280,8 +350,7 @@ type refineResponse struct {
 
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	var req refineRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tech, err := parseTechnique(req.Technique)
@@ -289,7 +358,10 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.cfg.System.Query(req.SQL)
+	// Refine against the snapshot /v1/query currently serves, so the path
+	// addresses the same tree the client is looking at.
+	sys := s.currentSystem()
+	q, err := repro.ParseQuery(req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -304,19 +376,20 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if req.X > 0 {
 		opts.X = req.X
 	}
-	tree, err := res.CategorizeWith(tech, opts)
+	tree, hit, err := sys.ServeParsed(r.Context(), q, tech, opts)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "categorization failed: %v", err)
+		writeServeErr(w, err, http.StatusInternalServerError)
 		return
 	}
-	refined, err := tree.RefineQuery(res.Query, req.Path)
+	refined, err := tree.RefineQuery(q, req.Path)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	setCacheHeader(w, hit)
 	writeJSON(w, http.StatusOK, refineResponse{
 		SQL:         refined.String(),
-		ResultCount: len(s.cfg.System.Relation().Select(refined.Predicate())),
+		ResultCount: len(sys.Relation().Select(refined.Predicate())),
 	})
 }
 

@@ -1,12 +1,13 @@
 package server
 
 import (
+	"container/list"
 	"crypto/rand"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/session"
@@ -17,43 +18,104 @@ import (
 // showtuples/click operations; the server keeps the §4.1 item accounting
 // and the §6.3-style operation log.
 
-// maxSessions bounds the in-memory session table; the oldest session is
-// evicted when the bound is hit.
-const maxSessions = 1024
-
 type liveSession struct {
 	sess *session.Session
 	tree *repro.Tree
 	sql  string
 }
 
+// sessionTable is the bounded in-memory session store: a cap with
+// least-recently-touched eviction plus a TTL, so an abandoned browser tab
+// cannot pin server memory and a session flood cannot grow the table
+// without limit. Every get refreshes the session's recency and TTL clock.
 type sessionTable struct {
-	mu    sync.Mutex
-	byID  map[string]*liveSession
-	order []string
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	now func() time.Time // injectable for TTL tests
+
+	ll   *list.List // front = most recently touched
+	byID map[string]*list.Element
 }
 
-func newSessionTable() *sessionTable {
-	return &sessionTable{byID: map[string]*liveSession{}}
+type sessionEntry struct {
+	id      string
+	s       *liveSession
+	touched time.Time
 }
 
+func newSessionTable(capacity int, ttl time.Duration) *sessionTable {
+	return &sessionTable{
+		cap:  capacity,
+		ttl:  ttl,
+		now:  time.Now,
+		ll:   list.New(),
+		byID: make(map[string]*list.Element),
+	}
+}
+
+// put stores a new session, first expiring stale entries and then, at the
+// cap, evicting the least-recently-touched one.
 func (t *sessionTable) put(id string, s *liveSession) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.order) >= maxSessions {
-		oldest := t.order[0]
-		t.order = t.order[1:]
-		delete(t.byID, oldest)
+	now := t.now()
+	t.expireLocked(now)
+	for t.ll.Len() >= t.cap {
+		t.evictBackLocked()
 	}
-	t.byID[id] = s
-	t.order = append(t.order, id)
+	t.byID[id] = t.ll.PushFront(&sessionEntry{id: id, s: s, touched: now})
 }
 
+// get returns the live session, refreshing its recency; expired sessions
+// are dropped and reported missing.
 func (t *sessionTable) get(id string) (*liveSession, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s, ok := t.byID[id]
-	return s, ok
+	el, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*sessionEntry)
+	now := t.now()
+	if t.ttl > 0 && now.Sub(e.touched) > t.ttl {
+		t.removeLocked(el)
+		return nil, false
+	}
+	e.touched = now
+	t.ll.MoveToFront(el)
+	return e.s, true
+}
+
+// len reports the current number of live sessions.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len()
+}
+
+// expireLocked drops sessions idle past the TTL, scanning from the cold end.
+func (t *sessionTable) expireLocked(now time.Time) {
+	if t.ttl <= 0 {
+		return
+	}
+	for el := t.ll.Back(); el != nil; el = t.ll.Back() {
+		if now.Sub(el.Value.(*sessionEntry).touched) <= t.ttl {
+			return
+		}
+		t.removeLocked(el)
+	}
+}
+
+func (t *sessionTable) evictBackLocked() {
+	if el := t.ll.Back(); el != nil {
+		t.removeLocked(el)
+	}
+}
+
+func (t *sessionTable) removeLocked(el *list.Element) {
+	t.ll.Remove(el)
+	delete(t.byID, el.Value.(*sessionEntry).id)
 }
 
 func newSessionID() string {
@@ -84,8 +146,7 @@ type sessionCreateResponse struct {
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req sessionCreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tech, err := parseTechnique(req.Technique)
@@ -106,21 +167,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var (
 		tree        *repro.Tree
 		resultCount int
+		hit         bool
 	)
 	if s.adaptive != nil {
-		tree, resultCount, err = s.adaptive.Explore(req.SQL, tech, opts, true)
+		tree, resultCount, hit, err = s.adaptive.ExploreCtx(r.Context(), req.SQL, tech, opts, true)
 	} else {
-		var res *repro.Result
-		res, err = s.cfg.System.Query(req.SQL)
-		if err == nil {
-			tree, err = res.CategorizeWith(tech, opts)
-			if res != nil {
-				resultCount = res.Len()
-			}
-		}
+		tree, resultCount, hit, err = s.cfg.System.Serve(r.Context(), req.SQL, tech, opts)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeServeErr(w, err, http.StatusBadRequest)
 		return
 	}
 	sess := session.New(tree, tree.K)
@@ -132,6 +187,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	id := newSessionID()
 	s.sessions.put(id, &liveSession{sess: sess, tree: tree, sql: req.SQL})
+	setCacheHeader(w, hit)
 	writeJSON(w, http.StatusOK, sessionCreateResponse{
 		ID:          id,
 		ResultCount: resultCount,
@@ -160,8 +216,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req sessionOpRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp := sessionOpResponse{}

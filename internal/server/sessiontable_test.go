@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func tableIDs(t *sessionTable) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, 0, t.ll.Len())
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		ids = append(ids, el.Value.(*sessionEntry).id)
+	}
+	return ids
+}
+
+func TestSessionTableEvictsLeastRecentlyTouched(t *testing.T) {
+	tab := newSessionTable(3, time.Hour)
+	for i := 0; i < 3; i++ {
+		tab.put(fmt.Sprintf("s%d", i), &liveSession{})
+	}
+	// Touch s0 so s1 becomes the coldest.
+	if _, ok := tab.get("s0"); !ok {
+		t.Fatal("s0 missing before cap")
+	}
+	tab.put("s3", &liveSession{})
+	if _, ok := tab.get("s1"); ok {
+		t.Fatal("s1 should have been evicted as least-recently-touched")
+	}
+	for _, id := range []string{"s0", "s2", "s3"} {
+		if _, ok := tab.get(id); !ok {
+			t.Fatalf("%s should have survived eviction", id)
+		}
+	}
+	if n := tab.len(); n != 3 {
+		t.Fatalf("len = %d; want 3", n)
+	}
+}
+
+func TestSessionTableEvictionOrder(t *testing.T) {
+	tab := newSessionTable(2, time.Hour)
+	tab.put("a", &liveSession{})
+	tab.put("b", &liveSession{})
+	tab.put("c", &liveSession{}) // evicts a
+	if got := tableIDs(tab); len(got) != 2 || got[0] != "c" || got[1] != "b" {
+		t.Fatalf("order = %v; want [c b]", got)
+	}
+	tab.put("d", &liveSession{}) // evicts b
+	if _, ok := tab.get("b"); ok {
+		t.Fatal("b should have been evicted before c")
+	}
+	if _, ok := tab.get("c"); !ok {
+		t.Fatal("c should still be live")
+	}
+}
+
+func TestSessionTableTTL(t *testing.T) {
+	clock := time.Unix(0, 0)
+	tab := newSessionTable(10, time.Minute)
+	tab.now = func() time.Time { return clock }
+
+	tab.put("old", &liveSession{})
+	clock = clock.Add(30 * time.Second)
+	tab.put("young", &liveSession{})
+
+	// old is 61s idle: expired; young is 31s idle: alive.
+	clock = clock.Add(31 * time.Second)
+	if _, ok := tab.get("old"); ok {
+		t.Fatal("old should have expired")
+	}
+	if _, ok := tab.get("young"); !ok {
+		t.Fatal("young should still be live")
+	}
+	// The get above refreshed young's clock; another 59s keeps it alive.
+	clock = clock.Add(59 * time.Second)
+	if _, ok := tab.get("young"); !ok {
+		t.Fatal("young should have been refreshed by the earlier get")
+	}
+	// put expires stale entries from the cold end.
+	clock = clock.Add(2 * time.Minute)
+	tab.put("new", &liveSession{})
+	if n := tab.len(); n != 1 {
+		t.Fatalf("len = %d after expiry sweep; want 1", n)
+	}
+}
+
+// TestSessionEvictionOverHTTP creates more sessions than the cap through the
+// API and asserts the oldest ones were evicted in creation order.
+func TestSessionEvictionOverHTTP(t *testing.T) {
+	testServer(t) // populate tsSys
+
+	// The shared testServer has the default cap; use a dedicated server
+	// with a small one.
+	small, err := New(Config{System: tsSys, MaxSessions: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs2 := httptest.NewServer(small.Handler())
+	t.Cleanup(hs2.Close)
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, hs2.URL+"/v1/session", sessionCreateRequest{SQL: testSQL})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var created sessionCreateResponse
+		if err := json.Unmarshal(body, &created); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		ids = append(ids, created.ID)
+	}
+	// Cap 2: the two oldest (ids[0], ids[1]) are gone, the two newest live.
+	for i, id := range ids {
+		resp, err := http.Get(hs2.URL + "/v1/session/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		wantLive := i >= 2
+		if gotLive := resp.StatusCode == http.StatusOK; gotLive != wantLive {
+			t.Errorf("session %d (%s): live=%v; want %v", i, id, gotLive, wantLive)
+		}
+	}
+}

@@ -39,6 +39,48 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzSignature checks signature stability on everything the parser
+// accepts: re-parsing the rendered SQL must preserve the signature, and
+// reversing the parsed conjuncts and IN lists must not change it.
+func FuzzSignature(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA','Bellevue, WA') AND price BETWEEN 200000 AND 300000",
+		"SELECT a, b FROM T WHERE p >= 100 AND p < 200 AND q = 'x'",
+		"select * from t where A in ('b','a') and a in ('a')",
+		"SELECT * FROM T WHERE p = 5",
+		"SELECT * FROM T WHERE p > -0.0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		sig := q.Signature()
+		back, err := Parse(q.String())
+		if err != nil {
+			return // round-trip parsability is FuzzParse's property
+		}
+		if got := back.Signature(); got != sig {
+			t.Fatalf("signature unstable across String round-trip: %q -> %q (src %q)", sig, got, src)
+		}
+		perm := q.Clone()
+		for i, j := 0, len(perm.Conds)-1; i < j; i, j = i+1, j-1 {
+			perm.Conds[i], perm.Conds[j] = perm.Conds[j], perm.Conds[i]
+		}
+		for _, c := range perm.Conds {
+			for i, j := 0, len(c.Values)-1; i < j; i, j = i+1, j-1 {
+				c.Values[i], c.Values[j] = c.Values[j], c.Values[i]
+			}
+		}
+		if got := perm.Signature(); got != sig {
+			t.Fatalf("signature order-sensitive: %q -> %q (src %q)", sig, got, src)
+		}
+	})
+}
+
 // FuzzConditionOverlap checks the interval overlap helper for panics and
 // symmetry-adjacent sanity on arbitrary numeric inputs.
 func FuzzConditionOverlap(f *testing.F) {

@@ -1,0 +1,119 @@
+package sqlparse
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Signature returns a canonical key for the query's selection semantics:
+// two queries that select the same tuple-set from the same table — and
+// therefore categorize to the same tree under fixed workload statistics —
+// share one signature regardless of SQL spelling. Normalizations applied:
+//
+//   - table and attribute names are lowercased;
+//   - the column list is lowercased, deduplicated, and sorted ('*' stays
+//     distinct from any explicit list);
+//   - conjuncts are sorted by attribute (the parser has already merged
+//     repeated attributes conjunctively);
+//   - IN-list members are deduplicated and sorted;
+//   - range bounds are rendered in a spelling-independent interval form, so
+//     "p BETWEEN 1 AND 2", "p >= 1 AND p <= 2", and "1 <= p AND p <= 2"
+//     coincide, as do "p = 5" and "p BETWEEN 5 AND 5".
+//
+// The signature is a printable string (control-character separators keep
+// quoted values unambiguous) intended as a cache key; it is not SQL.
+func (q *Query) Signature() string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString("t:")
+	b.WriteString(strings.ToLower(q.Table))
+	b.WriteString("\x1ec:")
+	if len(q.Columns) == 0 {
+		b.WriteString("*")
+	} else {
+		cols := make([]string, 0, len(q.Columns))
+		for _, c := range q.Columns {
+			cols = append(cols, strings.ToLower(c))
+		}
+		sort.Strings(cols)
+		prev := ""
+		for i, c := range cols {
+			if i > 0 && c == prev {
+				continue
+			}
+			if i > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(c)
+			prev = c
+		}
+	}
+	conds := make([]*Condition, len(q.Conds))
+	copy(conds, q.Conds)
+	sort.Slice(conds, func(i, j int) bool {
+		return strings.ToLower(conds[i].Attr) < strings.ToLower(conds[j].Attr)
+	})
+	for _, c := range conds {
+		b.WriteString("\x1e")
+		c.writeSignature(&b)
+	}
+	return b.String()
+}
+
+// writeSignature appends the condition's canonical form to b.
+func (c *Condition) writeSignature(b *strings.Builder) {
+	b.WriteString(strings.ToLower(c.Attr))
+	if !c.IsRange {
+		b.WriteString("\x1din")
+		vals := append([]string(nil), c.Values...)
+		sort.Strings(vals)
+		prev := ""
+		for i, v := range vals {
+			if i > 0 && v == prev {
+				continue
+			}
+			b.WriteByte('\x1f')
+			b.WriteString(v)
+			prev = v
+		}
+		return
+	}
+	b.WriteString("\x1drg")
+	b.WriteByte('\x1f')
+	if !c.LoSet {
+		b.WriteString("(-inf")
+	} else {
+		if c.LoStrict {
+			b.WriteByte('(')
+		} else {
+			b.WriteByte('[')
+		}
+		b.WriteString(sigNum(c.Lo))
+	}
+	b.WriteByte(',')
+	if !c.HiSet {
+		b.WriteString("+inf)")
+	} else {
+		b.WriteString(sigNum(c.Hi))
+		if c.HiStrict {
+			b.WriteByte(')')
+		} else {
+			b.WriteByte(']')
+		}
+	}
+}
+
+// sigNum renders a bound canonically: -0 folds into 0, integers print
+// without exponent or trailing zeros, and everything else uses the shortest
+// round-trip float form.
+func sigNum(v float64) string {
+	if v == 0 {
+		v = 0 // collapse -0
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,122 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// mustSig parses and signs, failing the test on parse errors.
+func mustSig(t *testing.T, sql string) string {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q.Signature()
+}
+
+func TestSignatureEquivalentSpellings(t *testing.T) {
+	groups := [][]string{
+		{ // attribute/table case, IN order, conjunct order, whitespace
+			"SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA','Bellevue, WA') AND price BETWEEN 200000 AND 300000",
+			"select * from listproperty where PRICE between 200000 and 300000 and NeighborHood in ('Bellevue, WA', 'Seattle, WA')",
+			"SELECT   *   FROM  LISTPROPERTY  WHERE neighborhood IN ('Bellevue, WA','Seattle, WA','Seattle, WA') AND price >= 200000 AND price <= 300000",
+		},
+		{ // BETWEEN vs split comparisons
+			"SELECT * FROM T WHERE p BETWEEN 1 AND 2",
+			"SELECT * FROM T WHERE p >= 1 AND p <= 2",
+			"SELECT * FROM T WHERE p <= 2 AND p >= 1",
+		},
+		{ // equality vs degenerate interval
+			"SELECT * FROM T WHERE p = 5",
+			"SELECT * FROM T WHERE p BETWEEN 5 AND 5",
+		},
+		{ // numeric formatting: 5 vs 5.0
+			"SELECT * FROM T WHERE p >= 5",
+			"SELECT * FROM T WHERE p >= 5.0",
+		},
+		{ // column list order and case ('*' handled by the first group)
+			"SELECT a, B FROM T WHERE p > 0",
+			"SELECT b, A, a FROM T WHERE p > 0",
+		},
+	}
+	for gi, g := range groups {
+		want := mustSig(t, g[0])
+		for _, sql := range g[1:] {
+			if got := mustSig(t, sql); got != want {
+				t.Errorf("group %d: %q signed %q, want %q (from %q)", gi, sql, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestSignatureDistinguishesSemantics(t *testing.T) {
+	distinct := []string{
+		"SELECT * FROM T",
+		"SELECT a FROM T",
+		"SELECT * FROM U",
+		"SELECT * FROM T WHERE p > 5",
+		"SELECT * FROM T WHERE p >= 5",
+		"SELECT * FROM T WHERE p < 5",
+		"SELECT * FROM T WHERE p <= 5",
+		"SELECT * FROM T WHERE p = 5",
+		"SELECT * FROM T WHERE p BETWEEN 5 AND 6",
+		"SELECT * FROM T WHERE q = 5",
+		"SELECT * FROM T WHERE a = 'x'",
+		"SELECT * FROM T WHERE a IN ('x','y')",
+		"SELECT * FROM T WHERE a = 'x' AND p = 5",
+	}
+	seen := map[string]string{}
+	for _, sql := range distinct {
+		sig := mustSig(t, sql)
+		if prev, dup := seen[sig]; dup {
+			t.Errorf("%q and %q share signature %q", prev, sql, sig)
+		}
+		seen[sig] = sql
+	}
+}
+
+// TestSignatureValueAmbiguity guards the separator choice: values containing
+// quotes, commas, or spaces must not collide with differently-split lists.
+func TestSignatureValueAmbiguity(t *testing.T) {
+	a := mustSig(t, "SELECT * FROM T WHERE a IN ('x,y')")
+	b := mustSig(t, "SELECT * FROM T WHERE a IN ('x','y')")
+	if a == b {
+		t.Fatalf("value 'x,y' collides with list ('x','y'): %q", a)
+	}
+}
+
+// TestSignatureStableUnderRoundTrip pins the core stability property on
+// representative queries (the fuzz target explores it at large).
+func TestSignatureStableUnderRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA') AND price < 300000 AND bedcount >= 3",
+		"SELECT * FROM T WHERE n = 'O''Brien'",
+		"SELECT * FROM T WHERE p > -5 AND p < 5",
+	} {
+		q := MustParse(sql)
+		back := MustParse(q.String())
+		if q.Signature() != back.Signature() {
+			t.Errorf("round-trip changed signature for %q:\n  %q\n  %q", sql, q.Signature(), back.Signature())
+		}
+	}
+}
+
+// TestSignaturePermutationInvariant reverses conjuncts and IN lists in the
+// parsed form directly — a stronger guarantee than spelling tests, since it
+// bypasses the parser's own normalizations.
+func TestSignaturePermutationInvariant(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE a IN ('x','y','z') AND p BETWEEN 1 AND 9 AND b = 'w'")
+	want := q.Signature()
+	perm := q.Clone()
+	for i, j := 0, len(perm.Conds)-1; i < j; i, j = i+1, j-1 {
+		perm.Conds[i], perm.Conds[j] = perm.Conds[j], perm.Conds[i]
+	}
+	for _, c := range perm.Conds {
+		for i, j := 0, len(c.Values)-1; i < j; i, j = i+1, j-1 {
+			c.Values[i], c.Values[j] = c.Values[j], c.Values[i]
+		}
+	}
+	if got := perm.Signature(); got != want {
+		t.Fatalf("permuted query signed %q, want %q", got, want)
+	}
+}

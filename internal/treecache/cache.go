@@ -1,0 +1,226 @@
+// Package treecache memoizes computed category trees for the serving path.
+// It is a bounded LRU keyed by canonical query signature (plus technique,
+// options, and workload-stats generation — the caller composes the key) with
+// singleflight semantics: when N requests miss on the same key
+// concurrently, one computes and the rest wait, so a thundering herd of
+// identical queries costs one categorization.
+//
+// The cache is generic over the value type so it can be tested — and bounded
+// — without depending on the category package: the caller supplies each
+// value's approximate byte size at insertion.
+//
+// Invalidation is by key construction, not by explicit purge: workload-stats
+// snapshots carry a generation counter, the generation is part of the key,
+// and entries from superseded generations simply age out of the LRU.
+package treecache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Config bounds a Cache. A zero bound disables that dimension; both zero
+// means the cache holds nothing (New returns a cache that always misses and
+// never stores — callers gate on Enabled).
+type Config struct {
+	// MaxEntries bounds the number of cached values.
+	MaxEntries int
+	// MaxBytes bounds the sum of the callers' reported value sizes.
+	MaxBytes int64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts lookups answered from a stored value.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that started a computation.
+	Misses uint64 `json:"misses"`
+	// Shared counts lookups that joined another caller's in-flight
+	// computation instead of starting their own.
+	Shared uint64 `json:"shared"`
+	// Evictions counts values dropped to respect the bounds.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe current occupancy.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Cache is a bounded LRU with singleflight computation. Safe for concurrent
+// use. The zero value is not usable; call New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	cfg      Config
+	ll       *list.List // front = most recently used
+	table    map[string]*list.Element
+	inflight map[string]*call[V]
+	bytes    int64
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key  string
+	val  V
+	size int64
+}
+
+// call is one in-flight computation. refs counts the waiters (including the
+// initiator); when every waiter abandons (request contexts canceled), the
+// compute context is canceled so a cooperative computation can stop early.
+type call[V any] struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	val    V
+	size   int64
+	err    error
+}
+
+// New builds a cache with the given bounds.
+func New[V any](cfg Config) *Cache[V] {
+	return &Cache[V]{
+		cfg:      cfg,
+		ll:       list.New(),
+		table:    make(map[string]*list.Element),
+		inflight: make(map[string]*call[V]),
+	}
+}
+
+// Bounds returns the configured limits.
+func (c *Cache[V]) Bounds() Config { return c.cfg }
+
+// Enabled reports whether the configuration admits any entry at all.
+func (c *Cache[V]) Enabled() bool {
+	return c != nil && (c.cfg.MaxEntries > 0 || c.cfg.MaxBytes > 0)
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, computing it at most once across concurrent
+// callers. compute receives a context that is detached from any single
+// request but canceled once every caller waiting on this key has gone away;
+// compute returns the value and its approximate size in bytes. hit reports
+// whether the value came from the cache (false for both the computing caller
+// and the waiters that joined it). Errors are returned to every waiting
+// caller and never cached. If ctx is canceled while waiting, Do returns
+// ctx's error.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Context) (V, int64, error)) (val V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.table[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry[V]).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		cl.refs++
+		c.stats.Shared++
+		c.mu.Unlock()
+		return c.wait(ctx, cl)
+	}
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl := &call[V]{done: make(chan struct{}), cancel: cancel, refs: 1}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	go func() {
+		v, size, err := compute(cctx)
+		c.mu.Lock()
+		cl.val, cl.size, cl.err = v, size, err
+		delete(c.inflight, key)
+		if err == nil {
+			c.insertLocked(key, v, size)
+		}
+		c.mu.Unlock()
+		cancel()
+		close(cl.done)
+	}()
+	return c.wait(ctx, cl)
+}
+
+// wait blocks until the call completes or ctx is canceled. Abandoning the
+// last reference cancels the computation's context.
+func (c *Cache[V]) wait(ctx context.Context, cl *call[V]) (V, bool, error) {
+	select {
+	case <-cl.done:
+		return cl.val, false, cl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.refs--
+		if cl.refs <= 0 {
+			cl.cancel()
+		}
+		c.mu.Unlock()
+		var zero V
+		return zero, false, ctx.Err()
+	}
+}
+
+// insertLocked stores the value and evicts from the cold end until the
+// bounds hold again. The newest entry survives even when it alone exceeds
+// MaxBytes: evicting what was just computed would thrash. A disabled cache
+// (both bounds zero) stores nothing.
+func (c *Cache[V]) insertLocked(key string, val V, size int64) {
+	if c.cfg.MaxEntries <= 0 && c.cfg.MaxBytes <= 0 {
+		return
+	}
+	if el, ok := c.table[key]; ok { // raced insert of the same key
+		c.bytes += size - el.Value.(*entry[V]).size
+		el.Value.(*entry[V]).val = val
+		el.Value.(*entry[V]).size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.table[key] = c.ll.PushFront(&entry[V]{key: key, val: val, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > 1 &&
+		((c.cfg.MaxEntries > 0 && c.ll.Len() > c.cfg.MaxEntries) ||
+			(c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes)) {
+		c.evictLocked()
+	}
+}
+
+func (c *Cache[V]) evictLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.table, e.key)
+	c.bytes -= e.size
+	c.stats.Evictions++
+}
+
+// Stats returns a snapshot of the counters and occupancy.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.bytes
+	return s
+}
+
+// Flush drops every stored value (in-flight computations are unaffected and
+// will store their results when they finish).
+func (c *Cache[V]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.table)
+	c.bytes = 0
+}

@@ -1,0 +1,239 @@
+package treecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func bg() context.Context { return context.Background() }
+
+func TestHitMissAndLRUOrder(t *testing.T) {
+	c := New[int](Config{MaxEntries: 3})
+	get := func(key string, want int) {
+		t.Helper()
+		v, _, err := c.Do(bg(), key, func(context.Context) (int, int64, error) { return want, 8, nil })
+		if err != nil || v != want {
+			t.Fatalf("Do(%s) = %d, %v", key, v, err)
+		}
+	}
+	get("a", 1)
+	get("b", 2)
+	get("c", 3)
+	if _, ok := c.Get("a"); !ok { // refresh a: now order (hot→cold) a, c, b
+		t.Fatal("a should be cached")
+	}
+	get("d", 4) // evicts b, the least-recently-used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should survive", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	c := New[string](Config{MaxBytes: 100})
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Do(bg(), key, func(context.Context) (string, int64, error) { return key, 40, nil })
+	}
+	s := c.Stats()
+	if s.Bytes > 100 {
+		t.Fatalf("bytes %d over bound", s.Bytes)
+	}
+	if s.Entries != 2 || s.Evictions != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// One oversized value still caches (evicting everything colder).
+	c.Do(bg(), "big", func(context.Context) (string, int64, error) { return "big", 1000, nil })
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversized entry should be kept")
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("oversized insert should evict the rest: %+v", s)
+	}
+}
+
+// TestSingleflight: N concurrent misses on one key run compute once.
+func TestSingleflight(t *testing.T) {
+	c := New[int](Config{MaxEntries: 16})
+	var computes atomic.Int32
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+				computes.Add(1)
+				<-release
+				return 42, 8, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until every goroutine has either started the compute or joined it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.Misses+s.Shared >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never queued: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times; want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Shared != n-1 {
+		t.Fatalf("stats = %+v; want 1 miss, %d shared", s, n-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, _, err := c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+			calls++
+			return 0, 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("failed computes must not be cached; ran %d times", calls)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context dies returns promptly; the
+// computation finishes for the remaining waiter and is cached.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+		close(started)
+		<-release
+		return 7, 8, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v", err)
+	}
+	close(release)
+	v, hit, err := c.Do(bg(), "k", nil) // nil compute is safe: value is cached or inflight
+	if err != nil || v != 7 {
+		t.Fatalf("Do after release = %d, %v, %v", v, hit, err)
+	}
+}
+
+// TestAbandonedComputeCanceled: when every caller goes away, the compute
+// context is canceled so cooperative computations can stop burning CPU.
+func TestAbandonedComputeCanceled(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	ctx, cancel := context.WithCancel(bg())
+	computeCanceled := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(ctx, "k", func(cctx context.Context) (int, int64, error) {
+			cancel() // the only caller abandons mid-compute
+			select {
+			case <-cctx.Done():
+				close(computeCanceled)
+				return 0, 0, cctx.Err()
+			case <-time.After(5 * time.Second):
+				return 0, 0, nil
+			}
+		})
+	}()
+	select {
+	case <-computeCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context never canceled after the last caller left")
+	}
+	<-done
+}
+
+func TestDisabledCacheStoresNothing(t *testing.T) {
+	c := New[int](Config{})
+	if c.Enabled() {
+		t.Fatal("zero config should be disabled")
+	}
+	c.Do(bg(), "k", func(context.Context) (int, int64, error) { return 1, 8, nil })
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	c.Do(bg(), "k", func(context.Context) (int, int64, error) { return 1, 8, nil })
+	c.Flush()
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("after flush: %+v", s)
+	}
+}
+
+// TestConcurrentMixed hammers the cache from many goroutines with a small
+// key space to exercise hit/miss/join/evict interleavings under -race.
+func TestConcurrentMixed(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, MaxBytes: 1 << 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				want := (g + i) % 12
+				v, _, err := c.Do(bg(), key, func(context.Context) (int, int64, error) {
+					return want, 64, nil
+				})
+				if err != nil || v != want {
+					t.Errorf("Do(%s) = %d, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries > 8 || s.Bytes > 1<<16 {
+		t.Fatalf("bounds violated: %+v", s)
+	}
+}

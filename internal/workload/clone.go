@@ -1,0 +1,75 @@
+package workload
+
+import "repro/internal/sqlparse"
+
+// Clone support for the snapshot-swapped serving path: an online-learning
+// system never mutates published statistics in place. Instead the writer
+// clones the current tables off the hot path, folds the new queries into the
+// clone with AddQuery, and publishes the clone with a single atomic store —
+// readers keep using the old snapshot, unlocked, until they next load.
+
+// Clone returns a deep copy of the statistics: mutating the copy (AddQuery)
+// never touches the original, so a published original stays safe for
+// lock-free concurrent readers.
+func (s *Stats) Clone() *Stats {
+	out := &Stats{
+		n:          s.n,
+		attrUsage:  make(map[string]int, len(s.attrUsage)),
+		occ:        make(map[string]map[string]int, len(s.occ)),
+		splits:     make(map[string]*SplitTable, len(s.splits)),
+		ranges:     make(map[string]*rangeIndex, len(s.ranges)),
+		attrByFreq: append([]string(nil), s.attrByFreq...),
+		caseOf:     make(map[string]string, len(s.caseOf)),
+	}
+	for k, v := range s.attrUsage {
+		out.attrUsage[k] = v
+	}
+	for k, m := range s.occ {
+		mm := make(map[string]int, len(m))
+		for v, n := range m {
+			mm[v] = n
+		}
+		out.occ[k] = mm
+	}
+	for k, st := range s.splits {
+		out.splits[k] = st.clone()
+	}
+	for k, ri := range s.ranges {
+		out.ranges[k] = &rangeIndex{
+			los: append([]float64(nil), ri.los...),
+			his: append([]float64(nil), ri.his...),
+		}
+	}
+	for k, v := range s.caseOf {
+		out.caseOf[k] = v
+	}
+	return out
+}
+
+func (st *SplitTable) clone() *SplitTable {
+	out := &SplitTable{
+		Interval: st.Interval,
+		start:    make(map[float64]int, len(st.start)),
+		end:      make(map[float64]int, len(st.end)),
+	}
+	for v, n := range st.start {
+		out.start[v] = n
+	}
+	for v, n := range st.end {
+		out.end[v] = n
+	}
+	return out
+}
+
+// Clone returns a copy of the index sharing the (immutable) parsed queries
+// but owning its slice, so Add on the copy never reallocates under a reader
+// of the original.
+func (idx *CondIndex) Clone() *CondIndex {
+	return &CondIndex{queries: append([]*sqlparse.Query(nil), idx.queries...)}
+}
+
+// Clone returns a copy of the workload owning its query slice. The parsed
+// queries themselves are shared: they are immutable once mined.
+func (w *Workload) Clone() *Workload {
+	return &Workload{Queries: append([]*sqlparse.Query(nil), w.Queries...)}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func TestStatsCloneIsDeepAndEquivalent(t *testing.T) {
+	w, err := ParseStrings([]string{
+		"SELECT * FROM T WHERE a IN ('x','y') AND p BETWEEN 10 AND 20",
+		"SELECT * FROM T WHERE p >= 15",
+		"SELECT * FROM T WHERE a = 'x'",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{DefaultInterval: 5}
+	orig := Preprocess(w, cfg)
+	cl := orig.Clone()
+
+	// Equivalence on every reader surface.
+	if cl.N() != orig.N() || cl.NAttr("a") != orig.NAttr("a") || cl.Occ("a", "x") != orig.Occ("a", "x") {
+		t.Fatal("clone disagrees with original")
+	}
+	if !reflect.DeepEqual(cl.AttrsByUsage(), orig.AttrsByUsage()) {
+		t.Fatalf("attr order: %v vs %v", cl.AttrsByUsage(), orig.AttrsByUsage())
+	}
+	if cl.NOverlapRange("p", 10, 20) != orig.NOverlapRange("p", 10, 20) {
+		t.Fatal("range index disagrees")
+	}
+
+	// Deepness: mutating the clone must not leak into the original.
+	beforeN, beforeOcc := orig.N(), orig.Occ("a", "x")
+	beforeOverlap := orig.NOverlapRange("p", 0, 100)
+	beforeGoodness := orig.Splits("p").Goodness(15)
+	cl.AddQuery(sqlparse.MustParse("SELECT * FROM T WHERE a = 'x' AND p = 15"), cfg)
+	if orig.N() != beforeN || orig.Occ("a", "x") != beforeOcc {
+		t.Fatal("AddQuery on clone mutated original counts")
+	}
+	if orig.NOverlapRange("p", 0, 100) != beforeOverlap {
+		t.Fatal("AddQuery on clone mutated original range index")
+	}
+	if orig.Splits("p").Goodness(15) != beforeGoodness {
+		t.Fatal("AddQuery on clone mutated original splitpoints")
+	}
+	if cl.N() != beforeN+1 {
+		t.Fatal("clone did not learn")
+	}
+}
+
+func TestCondIndexAndWorkloadClone(t *testing.T) {
+	w, err := ParseStrings([]string{"SELECT * FROM T WHERE a = 'x'"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}
+	idx := NewCondIndex(w, cfg)
+	ic := idx.Clone()
+	ic.Add(sqlparse.MustParse("SELECT * FROM T WHERE a = 'y'"), cfg)
+	if idx.N() != 1 || ic.N() != 2 {
+		t.Fatalf("index clone not independent: %d, %d", idx.N(), ic.N())
+	}
+	wc := w.Clone()
+	wc.Queries = append(wc.Queries, sqlparse.MustParse("SELECT * FROM T"))
+	if w.Len() != 1 || wc.Len() != 2 {
+		t.Fatalf("workload clone not independent: %d, %d", w.Len(), wc.Len())
+	}
+}

@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/category"
+	"repro/internal/sqlparse"
+	"repro/internal/treecache"
+)
+
+// The concurrent serving path (DESIGN.md §8): a request's SQL is parsed and
+// reduced to a canonical signature; (signature, technique, options,
+// stats-generation) keys a bounded singleflight tree cache; workload
+// statistics live in immutable generation-stamped snapshots. The paper
+// computes trees at query time from a fixed workload-stats table (§4.2), so
+// under a fixed generation the tree is a pure function of the key — which is
+// what makes the memoization sound.
+
+// CacheStats is a point-in-time snapshot of the tree cache's counters.
+type CacheStats = treecache.Stats
+
+// Generation returns the workload-stats generation this system serves. A
+// system built by NewSystem is generation 0; AdaptiveSystem publishes
+// snapshots with increasing generations.
+func (s *System) Generation() uint64 { return s.gen }
+
+// CacheEnabled reports whether this system memoizes trees.
+func (s *System) CacheEnabled() bool { return s.cache.Enabled() }
+
+// CacheStats returns the tree cache's counters (zero when caching is
+// disabled). For an AdaptiveSystem the cache is shared across snapshots, so
+// any snapshot reports the same counters.
+func (s *System) CacheStats() CacheStats {
+	if !s.cache.Enabled() {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// ServeParsed executes and categorizes q through the serving path: on a
+// cache hit the selection is skipped entirely (the tree's root tuple-set is
+// the result set); on a miss the selection and categorization run inside the
+// singleflight, so concurrent identical requests cost one computation. hit
+// reports whether the tree came from the cache. The returned tree is shared
+// — treat it as immutable (render, estimate, refine; do not RankTree it).
+// ctx cancellation abandons the wait and, cooperatively, the computation.
+func (s *System) ServeParsed(ctx context.Context, q *Query, tech Technique, opts Options) (*Tree, bool, error) {
+	if q == nil {
+		return nil, false, fmt.Errorf("repro: ServeParsed requires a query")
+	}
+	if !s.cache.Enabled() {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		tree, err := s.buildTree(ctx, q, s.rel.Select(q.Predicate()), tech, opts)
+		return tree, false, err
+	}
+	return s.cache.Do(ctx, cacheKey(q, tech, opts, s.gen), func(cctx context.Context) (*Tree, int64, error) {
+		tree, err := s.buildTree(cctx, q, s.rel.Select(q.Predicate()), tech, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return tree, treeBytes(tree), nil
+	})
+}
+
+// Serve is ServeParsed over a SQL string, additionally returning the result
+// size (the tree root's tuple count — no separate selection runs on a hit).
+func (s *System) Serve(ctx context.Context, sql string, tech Technique, opts Options) (*Tree, int, bool, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	tree, hit, err := s.ServeParsed(ctx, q, tech, opts)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return tree, tree.Root.Size(), hit, nil
+}
+
+// buildTree runs one categorization with the chosen technique — the single
+// construction point behind Result.CategorizeWith and the serving path.
+func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Technique, opts Options) (*Tree, error) {
+	switch tech {
+	case CostBased:
+		c := category.NewCategorizer(s.stats, opts)
+		c.Corr = s.corr
+		c.Ctx = ctx
+		return c.CategorizeRows(s.rel, q, rows)
+		// Cost-based trees carry their (possibly path-conditional)
+		// probabilities from construction; no re-annotation.
+	case AttrCost, NoCost:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := &category.Baseline{Stats: s.stats, Opts: opts, Kind: tech}
+		tree, err := b.CategorizeRows(s.rel, q, rows)
+		if err != nil {
+			return nil, err
+		}
+		est := &category.Estimator{Stats: s.stats}
+		if s.corr != nil {
+			est.AnnotateConditional(tree, s.corr, opts.MinCondSupport)
+		} else {
+			est.Annotate(tree)
+		}
+		return tree, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown technique %v", tech)
+	}
+}
+
+// cacheKey composes the serving-path cache key. The query contributes its
+// canonical signature (spelling-independent); the technique and the full
+// option set contribute a fingerprint (conservative: options that default to
+// the same effective value key separately); the generation makes every
+// statistics snapshot its own key space.
+func cacheKey(q *Query, tech Technique, opts Options, gen uint64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%d|%g|%t|%t|%d|%d|%t|%t|%d|%d|%s",
+		tech, opts.M, opts.K, opts.X, opts.MaxBuckets, opts.MinBucket, opts.Frac,
+		opts.AutoBuckets, opts.EquiDepth, opts.MaxZeroCandidates, opts.MaxLevels,
+		opts.Parallel, opts.CandidateAttrs != nil, opts.MaxCategories, opts.MinCondSupport,
+		strings.Join(opts.CandidateAttrs, "\x1f"))
+	return fmt.Sprintf("%s\x1e%x\x1e%d", q.Signature(), h.Sum64(), gen)
+}
+
+// treeBytes approximates a tree's resident size for the cache's byte bound:
+// per-node struct overhead plus the tuple-set and label payloads.
+func treeBytes(t *Tree) int64 {
+	const nodeOverhead = 160 // Node struct, Children slice header, pointers
+	size := int64(96)        // Tree struct + LevelAttrs
+	for _, a := range t.LevelAttrs {
+		size += int64(len(a))
+	}
+	t.Root.Walk(func(n *Node, _ int) bool {
+		size += nodeOverhead + int64(len(n.Tset))*8 + int64(len(n.Label.Attr)+len(n.Label.Value))
+		for _, v := range n.Label.Values {
+			size += int64(len(v)) + 16
+		}
+		return true
+	})
+	return size
+}

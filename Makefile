@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench check report examples fuzz clean
+.PHONY: all build test race bench bench-all servebench selectbench check report examples fuzz clean
 
 all: build test
 
@@ -15,11 +15,12 @@ race:
 	go test -race ./...
 
 # Vet plus the race-checked hot packages: the categorizer's worker pool, the
-# relation's column caches, and the serving path (singleflight tree cache,
-# snapshot-swapped workload stats, bounded session table).
+# relation's column caches and conjunct-bitmap cache, and the serving path
+# (singleflight tree cache, snapshot-swapped workload stats, bounded session
+# table).
 check:
 	go vet ./...
-	go test -race ./internal/category ./internal/relation \
+	go test -race ./internal/category ./internal/relation ./internal/sqlparse \
 		./internal/treecache ./internal/server .
 
 # The categorizer/columnar benchmarks, recorded as BENCH_categorize.json
@@ -50,6 +51,18 @@ servebench:
 		  -o BENCH_serve.json
 	@echo wrote BENCH_serve.json
 
+# The selection-engine numbers, recorded as BENCH_select.json: warm
+# (conjunct-cache hit), indexed, single-conjunct, and cold (cache dropped per
+# iteration) Select at paper scale, against the pre-vectorization row-wise
+# baseline in testdata/select_seed.txt.
+selectbench:
+	go test -run='^$$' -bench='BenchmarkSelectQuery' -benchmem -count=5 ./internal/relation \
+		| tee selectbench_output.txt \
+		| go run ./cmd/benchjson -baseline testdata/select_seed.txt \
+		  -note "vectorized bitmap selection + conjunct-bitmap cache vs row-wise seed, rows=20000" \
+		  -o BENCH_select.json
+	@echo wrote BENCH_select.json
+
 # The full formatted evaluation report at paper scale.
 report:
 	go run ./cmd/benchrunner -out experiments_report.txt -json experiments_report.json
@@ -67,6 +80,7 @@ fuzz:
 	go test ./internal/sqlparse -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/sqlparse -fuzz=FuzzConditionOverlap -fuzztime=15s
 	go test ./internal/relation -fuzz=FuzzReadCSV -fuzztime=30s
+	go test ./internal/relation -fuzz=FuzzVectorizedSelect -fuzztime=30s
 
 clean:
-	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt

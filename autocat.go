@@ -336,7 +336,7 @@ func (r *Result) CategorizeWith(tech Technique, opts Options) (*Tree, error) {
 // concurrent identical misses collapse into one computation.
 func (r *Result) CategorizeCtx(ctx context.Context, tech Technique, opts Options) (*Tree, error) {
 	if r.sys.cache.Enabled() && r.Query != nil {
-		tree, _, err := r.sys.cache.Do(ctx, cacheKey(r.Query, tech, opts, r.sys.gen),
+		tree, _, err := r.sys.cache.Do(ctx, r.sys.cacheKey(r.Query, tech, opts),
 			func(cctx context.Context) (*Tree, int64, error) {
 				tree, err := r.sys.buildTree(cctx, r.Query, r.Rows, tech, opts)
 				if err != nil {

@@ -76,3 +76,74 @@ func BenchmarkCatCandidates(b *testing.B) {
 		}
 	}
 }
+
+// selectBenchPred is the multi-conjunct selection the BENCH_select.json
+// record is built around: a categorical IN plus two numeric ranges over the
+// 20k-row home-listing shape.
+func selectBenchPred() Predicate {
+	return NewAnd(
+		NewIn("neighborhood", "Seattle, WA", "Bellevue, WA"),
+		NewClosedRange("price", 250000, 350000),
+		NewClosedRange("bedrooms", 2, 5),
+	)
+}
+
+// BenchmarkSelectQuery measures Select on an unindexed relation with a
+// repeated multi-conjunct predicate (the serving path's steady state).
+func BenchmarkSelectQuery(b *testing.B) {
+	b.Run("rows=20000/conjuncts=3", func(b *testing.B) {
+		r := relationOfSize(20000, 7)
+		pred := selectBenchPred()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(r.Select(pred)) == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+	b.Run("rows=20000/conjuncts=1", func(b *testing.B) {
+		r := relationOfSize(20000, 7)
+		pred := NewIn("neighborhood", "Seattle, WA", "Bellevue, WA")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(r.Select(pred)) == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+}
+
+// BenchmarkSelectQueryIndexed is BenchmarkSelectQuery over a relation with
+// secondary indexes built.
+func BenchmarkSelectQueryIndexed(b *testing.B) {
+	b.Run("rows=20000/conjuncts=3", func(b *testing.B) {
+		r := relationOfSize(20000, 7)
+		if err := r.BuildIndex(); err != nil {
+			b.Fatal(err)
+		}
+		pred := selectBenchPred()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(r.Select(pred)) == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+}
+
+// BenchmarkSelectQueryCold measures the per-unique-query cost: the conjunct
+// bitmap cache is dropped every iteration, so every conjunct is evaluated
+// from scratch (columnar projections stay warm, as they do in serving).
+func BenchmarkSelectQueryCold(b *testing.B) {
+	b.Run("rows=20000/conjuncts=3", func(b *testing.B) {
+		r := relationOfSize(20000, 7)
+		pred := selectBenchPred()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.dropConjuncts()
+			if len(r.Select(pred)) == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+}

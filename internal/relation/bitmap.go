@@ -1,0 +1,102 @@
+package relation
+
+import "math/bits"
+
+// Bitmap is a word-packed set of row ids in [0, Len): bit i of words[i/64]
+// is row i's membership. It is the intermediate representation of the
+// vectorized selection engine (vselect.go): each conjunct materializes as
+// one bitmap, conjuncts combine with word-wise AND, and the final bitmap
+// unpacks to the ascending []int row list the categorizer consumes.
+//
+// Bitmaps published through the conjunct cache are immutable; the in-place
+// operations (Set, And, AndNot) are for bitmaps still owned by their
+// builder.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an empty bitmap over rows [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)>>6), n: n}
+}
+
+// Len returns the row universe size n.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set adds row i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether row i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// SetAll sets every row in [0, n).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// trim clears the bits above n-1 in the last word, keeping Count exact.
+func (b *Bitmap) trim() {
+	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set rows.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects b with o in place and returns the resulting count. The two
+// bitmaps must share a universe size.
+func (b *Bitmap) And(o *Bitmap) int {
+	c := 0
+	for i, w := range o.words {
+		b.words[i] &= w
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
+}
+
+// AndNot removes o's rows from b in place and returns the resulting count.
+func (b *Bitmap) AndNot(o *Bitmap) int {
+	c := 0
+	for i, w := range o.words {
+		b.words[i] &^= w
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// AppendRows appends the set rows to dst in ascending order and returns the
+// extended slice. Iteration peels one bit per trailing-zeros step, so sparse
+// bitmaps cost O(set bits), not O(n).
+func (b *Bitmap) AppendRows(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Rows returns the set rows in ascending order, sized exactly.
+func (b *Bitmap) Rows() []int {
+	return b.AppendRows(make([]int, 0, b.Count()))
+}

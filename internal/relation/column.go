@@ -55,6 +55,33 @@ type columnCache struct {
 	cat    map[string]*CatColumn // keyed by lower-cased attribute name
 	num    map[string][]float64
 	sorted map[string]*numSorted
+	// identity is the cached full row list [0, 1, …, n-1] that Select(nil)
+	// and Browse return; a shared snapshot, never modified after build.
+	identity []int
+}
+
+// identityRows returns the cached identity row list, building it on first
+// use. The returned slice is shared — callers must treat it as read-only.
+func (r *Relation) identityRows() []int {
+	r.cols.mu.Lock()
+	defer r.cols.mu.Unlock()
+	if r.cols.identity == nil {
+		id := make([]int, len(r.rows))
+		for i := range id {
+			id[i] = i
+		}
+		r.cols.identity = id
+	}
+	return r.cols.identity
+}
+
+// catColumnIfBuilt peeks the projection cache for column pos without
+// triggering a build.
+func (r *Relation) catColumnIfBuilt(pos int) *CatColumn {
+	key := lower(r.schema.Attr(pos).Name)
+	r.cols.mu.Lock()
+	defer r.cols.mu.Unlock()
+	return r.cols.cat[key]
 }
 
 // numSorted is the whole relation ordered by one numeric attribute.
@@ -270,5 +297,6 @@ func (r *Relation) dropColumns() {
 	r.cols.cat = nil
 	r.cols.num = nil
 	r.cols.sorted = nil
+	r.cols.identity = nil
 	r.cols.mu.Unlock()
 }

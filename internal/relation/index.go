@@ -17,6 +17,10 @@ type catIndex map[string][]int
 type numIndex struct {
 	vals []float64 // sorted
 	rows []int     // parallel to vals
+	// hasNaN records whether any value is NaN: NaN breaks the total order
+	// binary search assumes, so the vectorized range path (vselect.go)
+	// skips the index and scans the dense column instead.
+	hasNaN bool
 }
 
 // BuildIndex builds secondary indexes on the named attributes (all
@@ -64,8 +68,12 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 			return r.rows[order[a]][pos].Num < r.rows[order[b]][pos].Num
 		})
 		for k, i := range order {
-			idx.vals[k] = r.rows[i][pos].Num
+			v := r.rows[i][pos].Num
+			idx.vals[k] = v
 			idx.rows[k] = i
+			if v != v {
+				idx.hasNaN = true
+			}
 		}
 		r.numIdx[lower(key)] = idx
 	}

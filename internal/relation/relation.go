@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // Type classifies an attribute's domain. The categorizer treats the two
@@ -139,6 +141,15 @@ type Relation struct {
 
 	// Cached columnar projections (see column.go); invalidated on Append.
 	cols columnCache
+
+	// Vectorized selection state (see vselect.go): the bounded
+	// conjunct-bitmap cache and the selection counters.
+	vsel vselState
+
+	// dataGen counts mutations; every Append increments it. Derived
+	// artifacts (conjunct bitmaps, memoized trees) are stamped with the
+	// generation they were built against.
+	dataGen atomic.Uint64
 }
 
 // New creates an empty relation with the given name and schema.
@@ -162,8 +173,10 @@ func (r *Relation) Append(t Tuple) error {
 		return fmt.Errorf("relation %s: tuple has %d cells, schema has %d", r.Name, len(t), r.schema.Len())
 	}
 	r.rows = append(r.rows, t)
+	r.dataGen.Add(1)
 	r.dropIndexes() // stale after mutation; rebuild with BuildIndex
 	r.dropColumns()
+	r.dropConjuncts()
 	return nil
 }
 
@@ -185,17 +198,31 @@ func (r *Relation) Grow(n int) {
 }
 
 // Select returns the indices of all rows satisfying pred, in row order.
-// A nil predicate selects every row. When a secondary index covers one of
-// the predicate's conjuncts, the scan is restricted to the index's
-// candidates (the result is identical either way).
+// A nil predicate selects every row; that identity list is cached with the
+// projections and shared across calls — callers must not modify it.
+//
+// Non-nil predicates evaluate through the vectorized bitmap engine
+// (vselect.go) when every conjunct is a supported In/Range shape, and fall
+// back to the row-wise scan otherwise; the result is identical either way.
 func (r *Relation) Select(pred Predicate) []int {
 	if pred == nil {
-		out := make([]int, len(r.rows))
-		for i := range out {
-			out[i] = i
-		}
+		return r.identityRows()
+	}
+	start := time.Now()
+	r.vsel.selects.Add(1)
+	defer func() { r.vsel.nanos.Add(uint64(time.Since(start))) }()
+	if out, ok := r.vectorSelect(pred); ok {
+		r.vsel.vectorized.Add(1)
 		return out
 	}
+	r.vsel.fallback.Add(1)
+	return r.scanSelect(pred)
+}
+
+// scanSelect is the row-wise evaluation path: when a secondary index covers
+// one of the predicate's conjuncts, the scan is restricted to the index's
+// candidates; otherwise every tuple is tested through Predicate.Matches.
+func (r *Relation) scanSelect(pred Predicate) []int {
 	if cands, ok := r.candidates(pred); ok {
 		out := make([]int, 0, len(cands))
 		for _, i := range cands {
@@ -217,6 +244,12 @@ func (r *Relation) Select(pred Predicate) []int {
 // DistinctStrings returns the distinct categorical values of attribute attr
 // among the rows named by idx, sorted lexicographically. It returns an error
 // if attr is missing or not categorical.
+//
+// When the attribute's dictionary-coded projection is already built, the
+// distinct set is computed as code presence over the sorted value table —
+// no string hashing, and the dictionary order supplies the sort for free.
+// Without a built column the raw rows are hashed as before (building a
+// whole-relation projection just to answer a small idx would cost more).
 func (r *Relation) DistinctStrings(attr string, idx []int) ([]string, error) {
 	pos, ok := r.schema.Lookup(attr)
 	if !ok {
@@ -224,6 +257,23 @@ func (r *Relation) DistinctStrings(attr string, idx []int) ([]string, error) {
 	}
 	if r.schema.Attr(pos).Type != Categorical {
 		return nil, fmt.Errorf("relation %s: attribute %q is not categorical", r.Name, attr)
+	}
+	if col := r.catColumnIfBuilt(pos); col != nil {
+		present := make([]bool, len(col.Dict))
+		n := 0
+		for _, i := range idx {
+			if c := col.Codes[i]; !present[c] {
+				present[c] = true
+				n++
+			}
+		}
+		out := make([]string, 0, n)
+		for code, p := range present {
+			if p {
+				out = append(out, col.Dict[code]) // Dict is sorted ascending
+			}
+		}
+		return out, nil
 	}
 	seen := make(map[string]struct{})
 	for _, i := range idx {

@@ -165,6 +165,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if sys.CacheEnabled() {
 		body["cache"] = sys.CacheStats()
 	}
+	// Selection-engine counters (DESIGN.md §9): vectorized vs fallback path
+	// counts, cumulative Select wall time, and the conjunct-bitmap cache's
+	// hits/misses/occupancy.
+	body["select"] = sys.SelectStats()
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -87,6 +87,36 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestHealthzSelectStats drives one query through the serving path and checks
+// that /healthz reports the vectorized-selection counters (DESIGN.md §9).
+func TestHealthzSelectStats(t *testing.T) {
+	hs := testServer(t)
+	resp, _ := postJSON(t, hs.URL+"/v1/query", map[string]any{"sql": testSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var body struct {
+		Select *repro.SelectStats `json:"select"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Select == nil {
+		t.Fatal("healthz has no select field")
+	}
+	if body.Select.Selects == 0 || body.Select.Vectorized == 0 {
+		t.Fatalf("select stats not counting: %+v", *body.Select)
+	}
+	if body.Select.ConjunctHits+body.Select.ConjunctMisses == 0 {
+		t.Fatalf("conjunct cache untouched: %+v", *body.Select)
+	}
+}
+
 func TestAttributes(t *testing.T) {
 	hs := testServer(t)
 	resp, err := http.Get(hs.URL + "/v1/attributes")

@@ -1,10 +1,10 @@
 package sqlparse
 
 import (
-	"math"
 	"sort"
-	"strconv"
 	"strings"
+
+	"repro/internal/relation"
 )
 
 // Signature returns a canonical key for the query's selection semantics:
@@ -107,13 +107,7 @@ func (c *Condition) writeSignature(b *strings.Builder) {
 
 // sigNum renders a bound canonically: -0 folds into 0, integers print
 // without exponent or trailing zeros, and everything else uses the shortest
-// round-trip float form.
-func sigNum(v float64) string {
-	if v == 0 {
-		v = 0 // collapse -0
-	}
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-		return strconv.FormatInt(int64(v), 10)
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
+// round-trip float form. The canonicalization is shared with the relation
+// layer's conjunct-bitmap cache (relation.SigNum), so both cache key spaces
+// spell numbers identically.
+func sigNum(v float64) string { return relation.SigNum(v) }

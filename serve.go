@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/category"
+	"repro/internal/relation"
 	"repro/internal/sqlparse"
 	"repro/internal/treecache"
 )
@@ -21,6 +22,16 @@ import (
 
 // CacheStats is a point-in-time snapshot of the tree cache's counters.
 type CacheStats = treecache.Stats
+
+// SelectStats is a point-in-time snapshot of the relation's selection
+// counters: vectorized vs fallback path counts, cumulative selection time,
+// and the conjunct-bitmap cache's hit/miss/occupancy (DESIGN.md §9).
+type SelectStats = relation.SelectStats
+
+// SelectStats returns the base relation's selection counters. For an
+// AdaptiveSystem the relation is shared across snapshots, so any snapshot
+// reports the same counters.
+func (s *System) SelectStats() SelectStats { return s.rel.SelectStats() }
 
 // Generation returns the workload-stats generation this system serves. A
 // system built by NewSystem is generation 0; AdaptiveSystem publishes
@@ -58,7 +69,7 @@ func (s *System) ServeParsed(ctx context.Context, q *Query, tech Technique, opts
 		tree, err := s.buildTree(ctx, q, s.rel.Select(q.Predicate()), tech, opts)
 		return tree, false, err
 	}
-	return s.cache.Do(ctx, cacheKey(q, tech, opts, s.gen), func(cctx context.Context) (*Tree, int64, error) {
+	return s.cache.Do(ctx, s.cacheKey(q, tech, opts), func(cctx context.Context) (*Tree, int64, error) {
 		tree, err := s.buildTree(cctx, q, s.rel.Select(q.Predicate()), tech, opts)
 		if err != nil {
 			return nil, 0, err
@@ -116,16 +127,17 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 // cacheKey composes the serving-path cache key. The query contributes its
 // canonical signature (spelling-independent); the technique and the full
 // option set contribute a fingerprint (conservative: options that default to
-// the same effective value key separately); the generation makes every
-// statistics snapshot its own key space.
-func cacheKey(q *Query, tech Technique, opts Options, gen uint64) string {
+// the same effective value key separately); the stats generation makes every
+// statistics snapshot its own key space, and the relation's data generation
+// keeps trees built before an Append from being served after it.
+func (s *System) cacheKey(q *Query, tech Technique, opts Options) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%d|%g|%t|%t|%d|%d|%t|%t|%d|%d|%s",
 		tech, opts.M, opts.K, opts.X, opts.MaxBuckets, opts.MinBucket, opts.Frac,
 		opts.AutoBuckets, opts.EquiDepth, opts.MaxZeroCandidates, opts.MaxLevels,
 		opts.Parallel, opts.CandidateAttrs != nil, opts.MaxCategories, opts.MinCondSupport,
 		strings.Join(opts.CandidateAttrs, "\x1f"))
-	return fmt.Sprintf("%s\x1e%x\x1e%d", q.Signature(), h.Sum64(), gen)
+	return fmt.Sprintf("%s\x1e%x\x1e%d\x1e%d", q.Signature(), h.Sum64(), s.gen, s.rel.DataGeneration())
 }
 
 // treeBytes approximates a tree's resident size for the cache's byte bound:

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench check report examples fuzz clean
+.PHONY: all build test race bench bench-all servebench selectbench check chaos report examples fuzz clean
 
 all: build test
 
@@ -17,11 +17,18 @@ race:
 # Vet plus the race-checked hot packages: the categorizer's worker pool, the
 # relation's column caches and conjunct-bitmap cache, and the serving path
 # (singleflight tree cache, snapshot-swapped workload stats, bounded session
-# table).
+# table, admission limiter, fault injector).
 check:
 	go vet ./...
 	go test -race ./internal/category ./internal/relation ./internal/sqlparse \
-		./internal/treecache ./internal/server .
+		./internal/treecache ./internal/server ./internal/resilience/... .
+
+# The fault-injection chaos suite (DESIGN.md §10) under the race detector:
+# seeded latency/stall/panic faults at every named site while 8 workers
+# hammer the serving path; asserts only 200/499/503/504 escape, cache hits
+# are never degraded trees, and nothing leaks after the drain.
+chaos:
+	go test -race -count=1 -run 'TestChaos' -v ./internal/server
 
 # The categorizer/columnar benchmarks, recorded as BENCH_categorize.json
 # (testdata/bench_seed.txt holds the pre-columnar baseline for the ratios).

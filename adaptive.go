@@ -62,15 +62,38 @@ func (a *AdaptiveSystem) ExploreCtx(ctx context.Context, sql string, tech Techni
 	if err != nil {
 		return nil, 0, false, err
 	}
-	sys := a.cur.Load()
-	tree, hit, err := sys.ServeParsed(ctx, q, tech, opts)
+	out, err := a.ExploreParsedWith(ctx, q, tech, opts, ServePolicy{}, learn)
 	if err != nil {
 		return nil, 0, false, err
+	}
+	return out.Tree, out.Tree.Root.Size(), out.Hit, nil
+}
+
+// ExploreParsedWith is the policy-honoring exploration over an already-parsed
+// query: serve through the current snapshot under the resilience policy
+// (server deadline, degradation ladder — see System.ServeParsedWith), then
+// optionally fold the query into the statistics. Degraded serves still learn:
+// the user asked the query either way, and learning cost is independent of
+// how the tree was built.
+func (a *AdaptiveSystem) ExploreParsedWith(ctx context.Context, q *Query, tech Technique, opts Options, pol ServePolicy, learn bool) (ServeOutcome, error) {
+	sys := a.cur.Load()
+	out, err := sys.ServeParsedWith(ctx, q, tech, opts, pol)
+	if err != nil {
+		return out, err
 	}
 	if learn {
 		a.learn(q)
 	}
-	return tree, tree.Root.Size(), hit, nil
+	return out, nil
+}
+
+// LearnQuery folds one already-parsed query into the workload statistics —
+// the learning half of ExploreParsedWith, for callers that served the tree
+// another way (e.g. the HTTP layer's cache-hit fast path).
+func (a *AdaptiveSystem) LearnQuery(q *Query) {
+	if q != nil {
+		a.learn(q)
+	}
 }
 
 // Learn folds one query into the workload statistics without executing it
@@ -116,6 +139,7 @@ func (a *AdaptiveSystem) learn(qs ...*sqlparse.Query) {
 		wcfg:  old.wcfg,
 		cache: old.cache,
 		gen:   old.gen + 1,
+		resil: old.resil,
 	}
 	if old.corr != nil {
 		next.corr = old.corr.Clone()

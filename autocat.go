@@ -175,8 +175,11 @@ type System struct {
 	// cache memoizes served trees (nil when disabled); gen stamps the
 	// statistics snapshot this System serves, keying the cache (§8). An
 	// AdaptiveSystem's snapshots share one cache at increasing generations.
-	cache *treecache.Cache[*Tree]
+	cache *treecache.Cache[served]
 	gen   uint64
+	// resil counts degradations and recovered panics on the serving path
+	// (§10); shared across an AdaptiveSystem's snapshots, like the cache.
+	resil *resilienceCounters
 }
 
 // NewSystem builds a System over rel, mining the configured workload into
@@ -190,13 +193,14 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 			return nil, fmt.Errorf("repro: %w", err)
 		}
 	}
-	var cache *treecache.Cache[*Tree]
+	var cache *treecache.Cache[served]
 	if cfg.TreeCacheEntries > 0 || cfg.TreeCacheBytes > 0 {
-		cache = treecache.New[*Tree](treecache.Config{
+		cache = treecache.New[served](treecache.Config{
 			MaxEntries: cfg.TreeCacheEntries,
 			MaxBytes:   cfg.TreeCacheBytes,
 		})
 	}
+	resil := &resilienceCounters{}
 	stats := cfg.Stats
 	var corr *workload.CondIndex
 	if stats == nil {
@@ -226,12 +230,12 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 		if cfg.Correlations {
 			corr = workload.NewCondIndex(w, wcfg)
 		}
-		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache}, nil
+		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache, resil: resil}, nil
 	}
 	if cfg.Correlations {
 		return nil, fmt.Errorf("repro: Correlations requires the raw workload (WorkloadSQL or WorkloadReader), not precomputed Stats")
 	}
-	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache}, nil
+	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache, resil: resil}, nil
 }
 
 // Personalize returns a new System whose workload statistics blend this
@@ -256,11 +260,12 @@ func (s *System) Personalize(history []string, weight int) (*System, error) {
 		opts:  s.opts,
 		wl:    merged,
 		wcfg:  s.wcfg,
+		resil: &resilienceCounters{},
 	}
 	if s.cache.Enabled() {
 		// The personalized statistics are a different key space; sharing the
 		// base cache would serve the base user's trees. Same bounds, new cache.
-		out.cache = treecache.New[*Tree](s.cache.Bounds())
+		out.cache = treecache.New[served](s.cache.Bounds())
 	}
 	if s.corr != nil {
 		out.corr = workload.NewCondIndex(merged, s.wcfg)
@@ -336,15 +341,15 @@ func (r *Result) CategorizeWith(tech Technique, opts Options) (*Tree, error) {
 // concurrent identical misses collapse into one computation.
 func (r *Result) CategorizeCtx(ctx context.Context, tech Technique, opts Options) (*Tree, error) {
 	if r.sys.cache.Enabled() && r.Query != nil {
-		tree, _, err := r.sys.cache.Do(ctx, r.sys.cacheKey(r.Query, tech, opts),
-			func(cctx context.Context) (*Tree, int64, error) {
+		v, _, err := r.sys.cache.Do(ctx, r.sys.cacheKey(r.Query, tech, opts),
+			func(cctx context.Context) (served, int64, error) {
 				tree, err := r.sys.buildTree(cctx, r.Query, r.Rows, tech, opts)
 				if err != nil {
-					return nil, 0, err
+					return served{}, 0, err
 				}
-				return tree, treeBytes(tree), nil
+				return served{tree, DegradeNone}, treeBytes(tree), nil
 			})
-		return tree, err
+		return v.tree, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -3,21 +3,27 @@
 //
 // Usage:
 //
-//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn] [-cache-entries N] [-cache-mb N]
+//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn] [-cache-entries N] [-cache-mb N] [-max-concurrent N] [-max-queue N] [-deadline D] [-soft-budget D] [-degrade] [-drain D]
 //
 // Then:
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/query -d '{"sql":"SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000","maxDepth":2}'
 //	curl -X POST localhost:8080/v1/refine -d '{"sql":"…","path":[0,1]}'
+//
+// SIGINT/SIGTERM drains gracefully: new categorization requests are shed
+// with 503 while in-flight ones get up to -drain to finish.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -38,6 +44,13 @@ func main() {
 
 		cacheEntries = flag.Int("cache-entries", 256, "tree cache entry bound (0 with -cache-mb 0 disables caching)")
 		cacheMB      = flag.Int64("cache-mb", 64, "tree cache byte bound in MiB")
+
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent categorization computations (0 disables admission control)")
+		maxQueue      = flag.Int("max-queue", 0, "max requests queued for a computation slot (0 = 2x max-concurrent, negative = no queue)")
+		deadline      = flag.Duration("deadline", 0, "server-imposed deadline per categorization request (0 = none; exceeded = 504)")
+		softBudget    = flag.Duration("soft-budget", 0, "budget before -degrade steps down the technique (0 = half the deadline)")
+		degrade       = flag.Bool("degrade", false, "serve cheaper approximations instead of 504 when the soft budget is blown")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
 
@@ -77,7 +90,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, err := server.New(server.Config{System: sys, MaxDepth: 6, MaxChildren: 200, Learn: *learn})
+	srv, err := server.New(server.Config{
+		System:        sys,
+		MaxDepth:      6,
+		MaxChildren:   200,
+		Learn:         *learn,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		Deadline:      *deadline,
+		SoftBudget:    *softBudget,
+		Degrade:       *degrade,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,8 +108,28 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Printf("catserve: %d rows, %d workload queries, listening on %s\n",
 		rel.Len(), sys.Stats().N(), *addr)
-	log.Fatal(hs.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("catserve: draining…")
+	srv.BeginShutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("catserve: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("catserve: bye")
 }

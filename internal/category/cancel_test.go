@@ -1,0 +1,56 @@
+package category
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Cancellation tests for the cost-based categorizer: a dead context abandons
+// the build, and — the case that matters under a saturated scheduler — so
+// does a context whose deadline has elapsed even when the runtime timer that
+// would close Done has not been delivered yet. Trees are never returned
+// partially built; abandonment is an error, not a truncated result.
+
+func TestCategorizeAbandonsOnCanceledContext(t *testing.T) {
+	r := testRelation(400)
+	c := NewCategorizer(testStats(t), Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.Ctx = ctx
+	tree, err := c.Categorize(r, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if tree != nil {
+		t.Fatal("canceled build returned a tree")
+	}
+}
+
+// starvedCtx models a context whose deadline has passed but whose timer has
+// not fired: Done never closes and Err stays nil. On GOMAXPROCS=1 a
+// CPU-bound build holds the only P, so the real runtime behaves exactly like
+// this for the length of the build — the categorizer must read the clock
+// rather than wait for the timer.
+type starvedCtx struct {
+	context.Context
+	deadline time.Time
+}
+
+func (s starvedCtx) Deadline() (time.Time, bool) { return s.deadline, true }
+func (s starvedCtx) Done() <-chan struct{}       { return nil }
+func (s starvedCtx) Err() error                  { return nil }
+
+func TestCategorizeObservesElapsedDeadlineWithoutTimer(t *testing.T) {
+	r := testRelation(400)
+	c := NewCategorizer(testStats(t), Options{})
+	c.Ctx = starvedCtx{Context: context.Background(), deadline: time.Now().Add(-time.Second)}
+	tree, err := c.Categorize(r, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want context.DeadlineExceeded despite an undelivered timer", err)
+	}
+	if tree != nil {
+		t.Fatal("deadline-elapsed build returned a tree")
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/relation"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
@@ -153,6 +155,9 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := faultinject.Inject(ctx, faultinject.SiteCategorizeStart); err != nil {
+		return nil, fmt.Errorf("category: categorization abandoned: %w", err)
+	}
 	lc := &levelContext{r: r, q: q, stats: c.Stats, est: est, opts: opts, corr: c.Corr, ctx: ctx}
 
 	candidates := opts.CandidateAttrs
@@ -173,13 +178,16 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 		if opts.MaxLevels > 0 && level > opts.MaxLevels {
 			break
 		}
+		if err := faultinject.Inject(ctx, faultinject.SiteCategorizeLevel); err != nil {
+			return nil, fmt.Errorf("category: categorization abandoned: %w", err)
+		}
 		s := oversized(frontier, opts.M)
 		if len(s) == 0 || len(candidates) == 0 {
 			break
 		}
 		lc.resetLevel()
 		best := bestPlan(candidates, s, lc, lc.planFor)
-		if err := ctx.Err(); err != nil {
+		if err := ctxExpired(ctx); err != nil {
 			// A cancellation mid-fan-out may have skipped candidates; the
 			// surviving plan would be valid but not necessarily the best, so
 			// the whole build is abandoned rather than committed.
@@ -209,7 +217,7 @@ func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(strin
 	}
 	results := make([]scored, len(candidates))
 	eval := func(i int) {
-		if lc.ctx != nil && lc.ctx.Err() != nil {
+		if ctxExpired(lc.ctx) != nil {
 			return // abandoned build; categorize discards the level
 		}
 		if pl := build(candidates[i], s); pl != nil {
@@ -253,6 +261,24 @@ func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(strin
 		}
 	}
 	return best
+}
+
+// ctxExpired is ctx.Err() plus a wall-clock check of the deadline. A
+// deadline's runtime timer needs a free P to be delivered; with a CPU-bound
+// build saturating the scheduler (GOMAXPROCS=1 in the limit) delivery can lag
+// by the length of the build itself, which would let a soft-budgeted build
+// run arbitrarily past its deadline. Reading the clock needs no timer.
+func ctxExpired(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // oversized filters the frontier to the categories that must be partitioned:

@@ -1,0 +1,18 @@
+package category
+
+import "repro/internal/relation"
+
+// FlatTree builds the paper's degenerate no-categorization presentation
+// (§3.2's SHOWTUPLES on the whole result): a single root category holding
+// every result tuple, no levels, no labels. It is the bottom rung of the
+// serving path's degradation ladder — always valid, O(|R|) to build, and
+// costable (root probabilities are trivially 1, so TreeCostAll is simply the
+// scan cost of R).
+func FlatTree(r *relation.Relation, rows []int, opts Options) *Tree {
+	opts = opts.withDefaults()
+	return &Tree{
+		Root: &Node{Label: Label{Kind: LabelAll}, Tset: append([]int(nil), rows...), P: 1, Pw: 1},
+		R:    r,
+		K:    opts.K,
+	}
+}

@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Limiter is the admission controller: at most maxConcurrent requests hold a
+// slot at once, at most maxQueue more wait for one, and everything beyond
+// that is shed immediately with ErrOverloaded. Slots are granted in select
+// order (not strict FIFO), which is fine for a shed-don't-queue design: the
+// queue exists to absorb jitter, not to promise fairness.
+//
+// A nil *Limiter admits everything — callers need no "is admission on?"
+// branches.
+type Limiter struct {
+	sem      chan struct{}
+	maxQueue int
+	queued   atomic.Int64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// NewLimiter builds a limiter with maxConcurrent slots and a wait queue of
+// maxQueue. maxConcurrent <= 0 returns nil (admission disabled); maxQueue
+// <= 0 means no queue — a request either gets a slot immediately or is shed.
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{sem: make(chan struct{}, maxConcurrent), maxQueue: maxQueue}
+}
+
+// Acquire obtains a concurrency slot, waiting in the bounded queue when all
+// slots are busy. It returns a release function that must be called exactly
+// once when the request's work is done (it is idempotent, so a defer is
+// safe). Errors: ErrOverloaded when the queue is full (shed), ctx.Err() when
+// the caller's context dies while waiting.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFunc(), nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // dead requests don't occupy queue positions
+	}
+	if l.queued.Add(1) > int64(l.maxQueue) {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-l.sem }) }
+}
+
+// AdmissionStats is a point-in-time snapshot of the limiter's counters.
+type AdmissionStats struct {
+	// MaxConcurrent and MaxQueue echo the configuration (0/0 when admission
+	// is disabled).
+	MaxConcurrent int `json:"maxConcurrent"`
+	MaxQueue      int `json:"maxQueue"`
+	// InFlight is the number of slots currently held; QueueDepth the number
+	// of requests currently waiting for one.
+	InFlight   int `json:"inFlight"`
+	QueueDepth int `json:"queueDepth"`
+	// Admitted counts granted slots; Shed counts requests rejected with
+	// ErrOverloaded because the queue was full.
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// Stats snapshots the limiter; a nil limiter reports zeroes.
+func (l *Limiter) Stats() AdmissionStats {
+	if l == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		MaxConcurrent: cap(l.sem),
+		MaxQueue:      l.maxQueue,
+		InFlight:      len(l.sem),
+		QueueDepth:    int(l.queued.Load()),
+		Admitted:      l.admitted.Load(),
+		Shed:          l.shed.Load(),
+	}
+}

@@ -1,0 +1,175 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil limiter: %v", err)
+	}
+	release()
+	if s := l.Stats(); s != (AdmissionStats{}) {
+		t.Errorf("nil limiter stats = %+v, want zeroes", s)
+	}
+}
+
+func TestLimiterDisabledByConfig(t *testing.T) {
+	if l := NewLimiter(0, 10); l != nil {
+		t.Errorf("NewLimiter(0, _) = %v, want nil", l)
+	}
+	if l := NewLimiter(-1, 10); l != nil {
+		t.Errorf("NewLimiter(-1, _) = %v, want nil", l)
+	}
+}
+
+func TestLimiterShedsBeyondQueue(t *testing.T) {
+	l := NewLimiter(1, 0) // one slot, no queue
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second acquire err = %v, want ErrOverloaded", err)
+	}
+	s := l.Stats()
+	if s.Shed != 1 || s.Admitted != 1 || s.InFlight != 1 {
+		t.Errorf("stats = %+v, want shed=1 admitted=1 inFlight=1", s)
+	}
+	r1()
+	r1() // idempotent
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	if s := l.Stats(); s.InFlight != 0 {
+		t.Errorf("inFlight = %d after releases, want 0", s.InFlight)
+	}
+}
+
+func TestLimiterQueueAbsorbsThenSheds(t *testing.T) {
+	l := NewLimiter(1, 1)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// One waiter fits in the queue.
+	got := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	<-started
+	waitFor(t, func() bool { return l.Stats().QueueDepth == 1 })
+	// A second waiter overflows the queue and is shed immediately.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire err = %v, want ErrOverloaded", err)
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestLimiterHonorsContextWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, func() bool { return l.Stats().QueueDepth == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return l.Stats().QueueDepth == 0 })
+}
+
+func TestLimiterRejectsDeadContextWithoutQueueing(t *testing.T) {
+	l := NewLimiter(1, 4)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-ctx acquire err = %v, want context.Canceled", err)
+	}
+	if s := l.Stats(); s.QueueDepth != 0 || s.Shed != 0 {
+		t.Errorf("stats = %+v, want no queueing and no shed for a dead request", s)
+	}
+}
+
+func TestLimiterConcurrencyBound(t *testing.T) {
+	const slots, workers = 3, 20
+	l := NewLimiter(slots, workers)
+	var (
+		mu      sync.Mutex
+		cur     int
+		maxSeen int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			defer release()
+			mu.Lock()
+			cur++
+			if cur > maxSeen {
+				maxSeen = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if maxSeen > slots {
+		t.Errorf("observed %d concurrent holders, limit %d", maxSeen, slots)
+	}
+	if s := l.Stats(); s.Admitted != workers || s.InFlight != 0 {
+		t.Errorf("stats = %+v, want admitted=%d inFlight=0", s, workers)
+	}
+}
+
+// waitFor polls until cond holds or the test times out — for observing
+// another goroutine's queue position without sleeping a fixed amount.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

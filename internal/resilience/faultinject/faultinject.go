@@ -1,0 +1,136 @@
+// Package faultinject is the deterministic, seeded fault-injection hook
+// behind the chaos suite (`make chaos`, DESIGN.md §10). Hot-path code calls
+// Inject(ctx, site) at named sites; with no injector activated that is one
+// atomic load and a nil check, so the hooks stay in production builds. Tests
+// activate an Injector whose per-site rules add latency, stall until the
+// context dies, return an error, or panic — the shapes that must not crash
+// the server, strand a singleflight waiter, or poison the tree cache.
+//
+// Determinism: firing decisions come from one seeded PRNG, so a single-
+// threaded traversal sequence reproduces exactly; under concurrency the
+// per-request interleaving varies but the sampled fault mix does not.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The named sites. Keep these in sync with DESIGN.md §10's fault-site table.
+const (
+	// SiteCategorizeStart fires once per cost-based categorization, before
+	// any work.
+	SiteCategorizeStart = "categorize.start"
+	// SiteCategorizeLevel fires once per level of the cost-based level loop.
+	SiteCategorizeLevel = "categorize.level"
+	// SiteBaseline fires once per baseline (Attr-Cost / No-Cost) build — the
+	// degradation ladder's middle rung.
+	SiteBaseline = "baseline.categorize"
+	// SiteCacheCompute fires inside the tree cache's singleflight compute
+	// goroutine, before the computation.
+	SiteCacheCompute = "treecache.compute"
+	// SiteServeBuild fires at the top of the serving path's build ladder.
+	SiteServeBuild = "serve.build"
+)
+
+// Rule is one site's fault: fire with probability P (a non-positive P means
+// always), then apply the configured effects in order — sleep Latency, stall
+// until ctx dies, panic, return Err.
+type Rule struct {
+	P       float64
+	Latency time.Duration
+	Stall   bool
+	Panic   bool
+	Err     error
+}
+
+// Fault is the value a Panic rule panics with, so recover() boundaries and
+// tests can recognize injected panics.
+type Fault struct{ Site string }
+
+func (f *Fault) String() string { return fmt.Sprintf("injected panic at %s", f.Site) }
+
+// Injector holds the active rule set and a seeded PRNG.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]Rule
+	fired map[string]uint64
+}
+
+// New builds an injector with a deterministic seed and no rules.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: make(map[string]Rule), fired: make(map[string]uint64)}
+}
+
+// Set installs (or replaces) the rule for a site. A non-positive P is
+// normalized to 1 (always fire).
+func (i *Injector) Set(site string, r Rule) {
+	if r.P <= 0 {
+		r.P = 1
+	}
+	i.mu.Lock()
+	i.rules[site] = r
+	i.mu.Unlock()
+}
+
+// Fired reports how many times the site's rule has fired.
+func (i *Injector) Fired(site string) uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired[site]
+}
+
+// active is the process-wide injector; nil means every Inject is a no-op.
+var active atomic.Pointer[Injector]
+
+// Activate installs inj as the process-wide injector and returns a restore
+// function that reinstates the previous one — defer it in tests.
+func Activate(inj *Injector) (restore func()) {
+	prev := active.Swap(inj)
+	return func() { active.Store(prev) }
+}
+
+// Inject is the hook point: apply the active injector's rule for site, if
+// any. With no injector activated it costs one atomic load.
+func Inject(ctx context.Context, site string) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.inject(ctx, site)
+}
+
+func (i *Injector) inject(ctx context.Context, site string) error {
+	i.mu.Lock()
+	r, ok := i.rules[site]
+	fire := ok && (r.P >= 1 || i.rng.Float64() < r.P)
+	if fire {
+		i.fired[site]++
+	}
+	i.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if r.Latency > 0 {
+		t := time.NewTimer(r.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if r.Stall {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if r.Panic {
+		panic(&Fault{Site: site})
+	}
+	return r.Err
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectNoopWithoutInjector(t *testing.T) {
+	if err := Inject(context.Background(), SiteCategorizeStart); err != nil {
+		t.Fatalf("no injector: %v", err)
+	}
+}
+
+func TestActivateRestore(t *testing.T) {
+	inj := New(1)
+	wantErr := errors.New("injected")
+	inj.Set(SiteBaseline, Rule{Err: wantErr})
+	restore := Activate(inj)
+	if err := Inject(context.Background(), SiteBaseline); !errors.Is(err, wantErr) {
+		t.Fatalf("active injector err = %v, want %v", err, wantErr)
+	}
+	if got := inj.Fired(SiteBaseline); got != 1 {
+		t.Errorf("Fired = %d, want 1", got)
+	}
+	restore()
+	if err := Inject(context.Background(), SiteBaseline); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	if got := inj.Fired(SiteBaseline); got != 1 {
+		t.Errorf("Fired after restore = %d, want still 1", got)
+	}
+}
+
+func TestUnruledSiteDoesNotFire(t *testing.T) {
+	inj := New(1)
+	inj.Set(SiteBaseline, Rule{Err: errors.New("x")})
+	defer Activate(inj)()
+	if err := Inject(context.Background(), SiteCacheCompute); err != nil {
+		t.Fatalf("unruled site: %v", err)
+	}
+	if got := inj.Fired(SiteCacheCompute); got != 0 {
+		t.Errorf("Fired = %d, want 0", got)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	fire := func(seed int64) uint64 {
+		inj := New(seed)
+		inj.Set(SiteServeBuild, Rule{P: 0.3, Err: errors.New("x")})
+		defer Activate(inj)()
+		for i := 0; i < 1000; i++ {
+			_ = Inject(context.Background(), SiteServeBuild)
+		}
+		return inj.Fired(SiteServeBuild)
+	}
+	a, b := fire(42), fire(42)
+	if a != b {
+		t.Errorf("same seed fired %d vs %d times", a, b)
+	}
+	if a == 0 || a == 1000 {
+		t.Errorf("P=0.3 fired %d/1000 times — not sampling", a)
+	}
+}
+
+func TestPanicRuleCarriesSite(t *testing.T) {
+	inj := New(1)
+	inj.Set(SiteCategorizeLevel, Rule{Panic: true})
+	defer Activate(inj)()
+	defer func() {
+		p := recover()
+		f, ok := p.(*Fault)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *Fault", p, p)
+		}
+		if f.Site != SiteCategorizeLevel {
+			t.Errorf("Site = %q, want %q", f.Site, SiteCategorizeLevel)
+		}
+	}()
+	_ = Inject(context.Background(), SiteCategorizeLevel)
+	t.Fatal("expected panic")
+}
+
+func TestStallHonorsContext(t *testing.T) {
+	inj := New(1)
+	inj.Set(SiteCacheCompute, Rule{Stall: true})
+	defer Activate(inj)()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Inject(ctx, SiteCacheCompute) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stall err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall did not release on context cancellation")
+	}
+}
+
+func TestLatencyAbortsOnContext(t *testing.T) {
+	inj := New(1)
+	inj.Set(SiteServeBuild, Rule{Latency: time.Hour})
+	defer Activate(inj)()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Inject(ctx, SiteServeBuild) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("latency err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("latency sleep did not abort on context cancellation")
+	}
+}

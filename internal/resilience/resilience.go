@@ -1,0 +1,105 @@
+// Package resilience keeps the serving path alive under overload and
+// failure (DESIGN.md §10). The paper computes category trees at query time
+// (§5), so a slow or crashing categorization is user-visible latency — not an
+// offline batch hiccup. This package supplies the three mechanisms the
+// serving layer composes:
+//
+//   - admission control: a concurrency Limiter with a bounded wait queue in
+//     front of the categorizing endpoints; overflow is shed immediately
+//     (ErrOverloaded → 503) instead of queueing without bound.
+//   - deadline budgeting: a Policy carries the server-imposed wall budget
+//     (hard deadline → ErrServerTimeout → 504) and the soft budget that
+//     triggers the degradation ladder (full cost-based tree → Attr-Cost
+//     baseline → the paper's flat SHOWTUPLES presentation, §3.2).
+//   - panic isolation: PanicError converts a categorizer panic captured at a
+//     recover() boundary into an ordinary error carrying the stack, so one
+//     poisoned request cannot tear down the process or its singleflight
+//     waiters.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrServerTimeout is the cancellation cause installed by a server-imposed
+// deadline, distinguishing "the server gave up" (504) from "the client went
+// away" (499). Install it with context.WithTimeoutCause and test with
+// errors.Is against context.Cause.
+var ErrServerTimeout = errors.New("resilience: server deadline exceeded")
+
+// ErrOverloaded is returned by Limiter.Acquire when both the concurrency
+// slots and the wait queue are full: the request is shed without doing any
+// work (503 with Retry-After).
+var ErrOverloaded = errors.New("resilience: overloaded, request shed")
+
+// Degradation says how far down the ladder a served tree was built.
+type Degradation int
+
+const (
+	// DegradeNone is the full-fidelity cost-based tree.
+	DegradeNone Degradation = iota
+	// DegradeAttrCost replaced the cost-based search with the cheaper
+	// Attr-Cost baseline after the soft budget was blown.
+	DegradeAttrCost
+	// DegradeFlat is the paper's degenerate no-categorization presentation
+	// (§3.2 SHOWTUPLES): a single root category holding the whole result set.
+	DegradeFlat
+)
+
+// String renders the ladder rung the way the X-Degraded header spells it;
+// DegradeNone is the empty string so JSON omitempty drops it.
+func (d Degradation) String() string {
+	switch d {
+	case DegradeAttrCost:
+		return "attr-cost"
+	case DegradeFlat:
+		return "flat"
+	default:
+		return ""
+	}
+}
+
+// Policy is the per-request resilience budget the serving path honors.
+// The zero value disables both mechanisms (no deadline, no degradation) —
+// exactly the pre-resilience behavior.
+type Policy struct {
+	// Deadline is the server-imposed wall budget for the whole request.
+	// When it fires the request fails with ErrServerTimeout as the
+	// cancellation cause. 0 means no server deadline.
+	Deadline time.Duration
+	// SoftBudget is the wall budget granted to the full-fidelity
+	// categorization before the serving path degrades one rung. 0 with
+	// Degrade set defaults to half the Deadline.
+	SoftBudget time.Duration
+	// Degrade enables the stepwise ladder: cost-based → attr-cost → flat.
+	// Without it a blown budget is an error, not an approximation.
+	Degrade bool
+}
+
+// Effective fills the derived defaults: a degradation policy without an
+// explicit soft budget gets half the hard deadline.
+func (p Policy) Effective() Policy {
+	if p.Degrade && p.SoftBudget <= 0 && p.Deadline > 0 {
+		p.SoftBudget = p.Deadline / 2
+	}
+	return p
+}
+
+// PanicError is a panic captured at a recover() boundary, demoted to an
+// ordinary error: the panic value plus the goroutine stack at capture time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// NewPanicError wraps a recovered panic value, capturing the current stack.
+func NewPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}

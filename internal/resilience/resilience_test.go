@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDegradationString(t *testing.T) {
+	cases := []struct {
+		d    Degradation
+		want string
+	}{
+		{DegradeNone, ""},
+		{DegradeAttrCost, "attr-cost"},
+		{DegradeFlat, "flat"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Degradation(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPolicyEffective(t *testing.T) {
+	// Degrade with a deadline but no explicit soft budget: half the deadline.
+	p := Policy{Deadline: 2 * time.Second, Degrade: true}.Effective()
+	if p.SoftBudget != time.Second {
+		t.Errorf("SoftBudget = %v, want 1s", p.SoftBudget)
+	}
+	// Explicit soft budget survives.
+	p = Policy{Deadline: 2 * time.Second, SoftBudget: 100 * time.Millisecond, Degrade: true}.Effective()
+	if p.SoftBudget != 100*time.Millisecond {
+		t.Errorf("SoftBudget = %v, want 100ms", p.SoftBudget)
+	}
+	// No deadline: nothing to derive from.
+	p = Policy{Degrade: true}.Effective()
+	if p.SoftBudget != 0 {
+		t.Errorf("SoftBudget = %v, want 0", p.SoftBudget)
+	}
+	// No degradation: soft budget untouched (it would be unused anyway).
+	p = Policy{Deadline: 2 * time.Second}.Effective()
+	if p.SoftBudget != 0 {
+		t.Errorf("SoftBudget = %v, want 0", p.SoftBudget)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = NewPanicError(p)
+			}
+		}()
+		panic("boom")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "TestPanicError") {
+		t.Errorf("Stack missing capture site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q, want it to mention the panic value", err.Error())
+	}
+}
+
+func TestServerTimeoutCause(t *testing.T) {
+	// The 504-vs-499 distinction rests on the cancellation cause surviving
+	// the context tree.
+	ctx, cancel := context.WithTimeoutCause(context.Background(), time.Nanosecond, ErrServerTimeout)
+	defer cancel()
+	<-ctx.Done()
+	if !errors.Is(context.Cause(ctx), ErrServerTimeout) {
+		t.Errorf("cause = %v, want ErrServerTimeout", context.Cause(ctx))
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+}

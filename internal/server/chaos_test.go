@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience/faultinject"
+)
+
+// The chaos suite (`make chaos`, DESIGN.md §10): hammer the resilient
+// serving path under seeded fault injection — latency, stalls, and panics at
+// every named site, plus client hang-ups — and assert the safety properties
+// that matter:
+//
+//   - the process survives and every request resolves to 200, 499, 503, or 504;
+//   - a cache hit is never a degraded tree (degraded results are not stored);
+//   - no waiter is stranded (the hammer drains) and no goroutines leak;
+//   - the limiter returns to idle and the server still serves cleanly after
+//     the faults stop.
+
+// chaosStatuses are the only statuses the resilient serving path may emit
+// for well-formed requests, whatever faults fire underneath.
+var chaosStatuses = map[int]bool{
+	http.StatusOK:                 true,
+	StatusClientClosedRequest:     true,
+	http.StatusServiceUnavailable: true,
+	http.StatusGatewayTimeout:     true,
+}
+
+func TestChaosServing(t *testing.T) {
+	srv, err := New(Config{
+		System:        newServeSystem(t, true),
+		Learn:         true,
+		MaxDepth:      3,
+		MaxChildren:   8,
+		MaxConcurrent: 4,
+		MaxQueue:      8,
+		Deadline:      300 * time.Millisecond,
+		SoftBudget:    100 * time.Millisecond,
+		Degrade:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(42)
+	inj.Set(faultinject.SiteCategorizeStart, faultinject.Rule{P: 0.2, Latency: 5 * time.Millisecond})
+	inj.Set(faultinject.SiteCategorizeLevel, faultinject.Rule{P: 0.1, Latency: 3 * time.Millisecond})
+	inj.Set(faultinject.SiteBaseline, faultinject.Rule{P: 0.1, Latency: 2 * time.Millisecond})
+	inj.Set(faultinject.SiteCacheCompute, faultinject.Rule{P: 0.05, Panic: true})
+	inj.Set(faultinject.SiteServeBuild, faultinject.Rule{P: 0.03, Stall: true})
+	restore := faultinject.Activate(inj)
+	defer restore()
+
+	mix := append(append([]string{}, spellings...), distinctSQL...)
+	mix = append(mix, "SELECT * FROM ListProperty WHERE bedroomcount >= 3")
+
+	post := func(ctx context.Context, sql string) (int, http.Header) {
+		raw, _ := json.Marshal(queryRequest{SQL: sql})
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(raw)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		return rec.Code, rec.Header()
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	problems := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx := context.Background()
+				if (w+i)%7 == 0 {
+					// A slice of the traffic hangs up early, like real clients.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, 20*time.Millisecond)
+					defer cancel()
+				}
+				code, hdr := post(ctx, mix[(w*perWorker+i)%len(mix)])
+				if !chaosStatuses[code] {
+					problems <- fmt.Errorf("worker %d req %d: status %d outside {200,499,503,504}", w, i, code)
+				}
+				if code == http.StatusOK && hdr.Get("X-Cache") == "hit" && hdr.Get("X-Degraded") != "" {
+					problems <- fmt.Errorf("worker %d req %d: cache hit served a degraded tree (%s)", w, i, hdr.Get("X-Degraded"))
+				}
+			}
+		}(w)
+	}
+
+	// The hammer must drain: a stranded waiter would hang here.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("chaos hammer did not drain — stranded waiter or deadlock")
+	}
+	close(problems)
+	for err := range problems {
+		t.Error(err)
+	}
+
+	// The limiter returns to idle.
+	stats := srv.limiter.Stats()
+	if stats.InFlight != 0 || stats.QueueDepth != 0 {
+		t.Errorf("limiter not idle after drain: %+v", stats)
+	}
+
+	// Bounded goroutine count after drain: injected stalls hold compute
+	// goroutines only until their last waiter leaves, so the count must
+	// settle back near the pre-hammer baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Deterministic aftermath: a certain panic is a 503 and the process
+	// survives it; with the faults gone the same server serves 200s again.
+	certain := faultinject.New(1)
+	certain.Set(faultinject.SiteCategorizeStart, faultinject.Rule{Panic: true})
+	restore2 := faultinject.Activate(certain)
+	if code, _ := post(context.Background(), distinctSQL[0]); code != http.StatusServiceUnavailable {
+		t.Errorf("certain panic: status %d; want 503", code)
+	}
+	restore2()
+	restore()
+	if code, _ := post(context.Background(), distinctSQL[0]); code != http.StatusOK {
+		t.Errorf("after faults removed: status %d; want 200", code)
+	}
+
+	// Health endpoint is intact and reports the carnage.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after chaos: %d", rec.Code)
+	}
+	var health struct {
+		Resilience healthResilience `json:"resilience"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Resilience.Serving.Panics == 0 {
+		t.Error("healthz reports zero panics after a certain injected panic")
+	}
+	if health.Resilience.Admission.Admitted == 0 {
+		t.Error("healthz reports zero admitted requests after the hammer")
+	}
+}

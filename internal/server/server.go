@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/resilience"
 )
 
 // StatusClientClosedRequest is the (nginx-conventional) status reported when
@@ -50,6 +52,28 @@ type Config struct {
 	MaxSessions int
 	// SessionTTL expires sessions untouched for this long. Default 30m.
 	SessionTTL time.Duration
+
+	// MaxConcurrent bounds how many /v1/query and /v1/refine requests may
+	// compute categorizations at once (cache hits bypass the limiter — they
+	// cost no computation). 0 disables admission control.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a computation slot
+	// beyond MaxConcurrent; overflow is shed immediately with 503 and
+	// Retry-After. 0 defaults to 2×MaxConcurrent; negative means no queue.
+	MaxQueue int
+	// Deadline is the server-imposed wall budget per categorization request;
+	// when it fires the request fails with 504 (unlike a client hang-up,
+	// which is 499). 0 means no server deadline. Requests may tighten it via
+	// "timeoutMs".
+	Deadline time.Duration
+	// SoftBudget is the budget granted to the full-fidelity categorization
+	// before Degrade kicks in; 0 defaults to half the effective deadline.
+	SoftBudget time.Duration
+	// Degrade serves cheaper approximations instead of 504s when the soft
+	// budget is blown: first the Attr-Cost baseline, finally a flat
+	// SHOWTUPLES tree. Degraded responses carry X-Degraded and a "degraded"
+	// body field, and are never cached as full-fidelity trees.
+	Degrade bool
 }
 
 // Server handles the HTTP API.
@@ -58,6 +82,8 @@ type Server struct {
 	mux      *http.ServeMux
 	adaptive *repro.AdaptiveSystem // non-nil when Learn is enabled
 	sessions *sessionTable
+	limiter  *resilience.Limiter // nil when admission control is off
+	draining atomic.Bool         // set by BeginShutdown
 }
 
 // New builds a Server. It errors when no System is configured, or when
@@ -75,7 +101,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = 30 * time.Minute
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL)}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxConcurrent
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL),
+		limiter:  resilience.NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+	}
 	if cfg.Learn {
 		a, err := cfg.System.Adaptive()
 		if err != nil {
@@ -95,6 +129,22 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginShutdown puts the server into drain mode: new categorization requests
+// are shed with 503 (a load balancer should retry elsewhere) and learning
+// stops, so the statistics quiesce while in-flight requests finish. Call it
+// before http.Server.Shutdown; it is safe to call more than once.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// rejectDraining sheds the request with 503 when the server is draining.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, "server is draining")
+	return true
+}
 
 // apiError is the uniform error payload.
 type apiError struct {
@@ -138,15 +188,32 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// writeServeErr maps a serving-path error to a status: cancellation of the
-// request context becomes 499 (client closed request), everything else is
-// the caller's fallback (bad SQL, unknown technique, …).
-func writeServeErr(w http.ResponseWriter, err error, fallback int) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+// writeServeErr maps a serving-path error to a status. A shed request is 503
+// with Retry-After (the server did no work; retry is cheap), as is a
+// recovered categorizer panic (transient: the process survived and the entry
+// is not poisoned). A *server-imposed* deadline — recognized by the
+// resilience.ErrServerTimeout cancellation cause, either tagged on the error
+// by the serving path or still on ctx for errors raised before it — is 504;
+// plain context cancellation/deadline is the client's doing and stays 499.
+// Everything else is the caller's fallback (bad SQL, unknown technique, …).
+func writeServeErr(w http.ResponseWriter, ctx context.Context, err error, fallback int) {
+	var pe *resilience.PanicError
+	ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.As(err, &pe):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "transient categorization failure: %v", err)
+	case errors.Is(err, resilience.ErrServerTimeout),
+		ctxErr && errors.Is(context.Cause(ctx), resilience.ErrServerTimeout):
+		writeErr(w, http.StatusGatewayTimeout, "server deadline exceeded: %v", err)
+	case ctxErr:
 		writeErr(w, StatusClientClosedRequest, "request abandoned: %v", err)
-		return
+	default:
+		writeErr(w, fallback, "%v", err)
 	}
-	writeErr(w, fallback, "%v", err)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -169,6 +236,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// counts, cumulative Select wall time, and the conjunct-bitmap cache's
 	// hits/misses/occupancy.
 	body["select"] = sys.SelectStats()
+	// Resilience counters (DESIGN.md §10): admission queue/shed, degradation
+	// ladder activations, recovered panics, drain state.
+	res := map[string]any{
+		"serving":  sys.ResilienceStats(),
+		"draining": s.draining.Load(),
+	}
+	if s.limiter != nil {
+		res["admission"] = s.limiter.Stats()
+	}
+	body["resilience"] = res
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -180,7 +257,9 @@ type attributeInfo struct {
 }
 
 func (s *Server) handleAttributes(w http.ResponseWriter, _ *http.Request) {
-	sys := s.cfg.System
+	// The current snapshot, not the construction-time system: with Learn on,
+	// the reported usage fractions must reflect the learned workload.
+	sys := s.currentSystem()
 	schema := sys.Relation().Schema()
 	out := make([]attributeInfo, 0, schema.Len())
 	for i := 0; i < schema.Len(); i++ {
@@ -206,6 +285,9 @@ type queryRequest struct {
 	// MaxDepth / MaxChildren bound the returned tree (≤ server bounds).
 	MaxDepth    int `json:"maxDepth,omitempty"`
 	MaxChildren int `json:"maxChildren,omitempty"`
+	// TimeoutMs tightens the server's deadline for this request (it can
+	// never loosen a configured one).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // treeNode is the JSON rendering of one category.
@@ -228,15 +310,26 @@ type queryResponse struct {
 	EstCostAll  float64  `json:"estCostAll"`
 	EstCostOne  float64  `json:"estCostOne"`
 	Categories  int      `json:"categories"`
-	Tree        treeNode `json:"tree"`
+	// Degraded is set ("attr-cost" or "flat") when the deadline budget
+	// forced a cheaper presentation than the requested technique.
+	Degraded string   `json:"degraded,omitempty"`
+	Tree     treeNode `json:"tree"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req queryRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tech, err := parseTechnique(req.Technique)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, err := repro.ParseQuery(req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -251,35 +344,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.X > 0 {
 		opts.X = req.X
 	}
-	var (
-		tree        *repro.Tree
-		resultCount int
-		hit         bool
-	)
-	if s.adaptive != nil {
-		tree, resultCount, hit, err = s.adaptive.ExploreCtx(r.Context(), req.SQL, tech, opts, true)
-	} else {
-		tree, resultCount, hit, err = s.cfg.System.Serve(r.Context(), req.SQL, tech, opts)
-	}
-	if err != nil {
-		writeServeErr(w, err, http.StatusBadRequest)
+	out, ok := s.serveTree(w, r, q, tech, opts, req.TimeoutMs, true, http.StatusBadRequest)
+	if !ok {
 		return
 	}
-	if tree == nil {
-		writeErr(w, http.StatusInternalServerError, "categorization produced no tree")
-		return
-	}
-	setCacheHeader(w, hit)
+	tree := out.Tree
+	setCacheHeader(w, out.Hit)
+	setDegradedHeader(w, out.Degraded)
 	maxDepth := boundOrDefault(req.MaxDepth, s.cfg.MaxDepth)
 	maxChildren := boundOrDefault(req.MaxChildren, s.cfg.MaxChildren)
 	writeJSON(w, http.StatusOK, queryResponse{
-		ResultCount: resultCount,
+		ResultCount: tree.Root.Size(),
 		Levels:      tree.LevelAttrs,
 		EstCostAll:  repro.EstimateCostAll(tree),
 		EstCostOne:  repro.EstimateCostOne(tree, 0.5),
 		Categories:  tree.NodeCount(),
+		Degraded:    out.Degraded.String(),
 		Tree:        toJSONTree(tree.Root, nil, maxDepth, maxChildren),
 	})
+}
+
+// serveTree is the resilient serving path shared by /v1/query and
+// /v1/refine (DESIGN.md §10): probe the cache first (hits bypass admission
+// control — they cost no computation), then acquire a concurrency slot,
+// then serve under the deadline/degradation policy. On failure it writes
+// the error response and reports ok = false.
+func (s *Server) serveTree(w http.ResponseWriter, r *http.Request, q *repro.Query, tech repro.Technique, opts repro.Options, timeoutMs int, learn bool, fallback int) (repro.ServeOutcome, bool) {
+	sys := s.currentSystem()
+	if tree, ok := sys.Peek(q, tech, opts); ok {
+		if learn && s.adaptive != nil && !s.draining.Load() {
+			s.adaptive.LearnQuery(q)
+		}
+		return repro.ServeOutcome{Tree: tree, Hit: true}, true
+	}
+	ctx := r.Context()
+	deadline := tightest(s.cfg.Deadline, time.Duration(timeoutMs)*time.Millisecond)
+	if deadline > 0 {
+		// The deadline wraps the whole computation, queue wait included: a
+		// request that spends its budget waiting for a slot 504s like one
+		// that spends it categorizing.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, deadline, resilience.ErrServerTimeout)
+		defer cancel()
+	}
+	release, err := s.limiter.Acquire(ctx)
+	if err != nil {
+		writeServeErr(w, ctx, err, http.StatusServiceUnavailable)
+		return repro.ServeOutcome{}, false
+	}
+	defer release()
+	pol := repro.ServePolicy{SoftBudget: s.cfg.SoftBudget, Degrade: s.cfg.Degrade}
+	if pol.Degrade && pol.SoftBudget <= 0 && deadline > 0 {
+		pol.SoftBudget = deadline / 2
+	}
+	var out repro.ServeOutcome
+	if s.adaptive != nil {
+		out, err = s.adaptive.ExploreParsedWith(ctx, q, tech, opts, pol, learn && !s.draining.Load())
+	} else {
+		out, err = s.cfg.System.ServeParsedWith(ctx, q, tech, opts, pol)
+	}
+	if err != nil {
+		writeServeErr(w, ctx, err, fallback)
+		return out, false
+	}
+	if out.Tree == nil {
+		writeErr(w, http.StatusInternalServerError, "categorization produced no tree")
+		return out, false
+	}
+	return out, true
+}
+
+// tightest combines the configured deadline with the per-request one: the
+// request may only tighten a configured deadline, and may impose one when
+// the server has none.
+func tightest(def, req time.Duration) time.Duration {
+	switch {
+	case req <= 0:
+		return def
+	case def > 0 && req > def:
+		return def
+	default:
+		return req
+	}
+}
+
+// setDegradedHeader reports the degradation rung, if any, to clients.
+func setDegradedHeader(w http.ResponseWriter, d repro.Degradation) {
+	if d != repro.DegradeNone {
+		w.Header().Set("X-Degraded", d.String())
+	}
 }
 
 // setCacheHeader reports cache disposition to clients (and to the catload
@@ -344,6 +497,8 @@ type refineRequest struct {
 	M         int     `json:"m,omitempty"`
 	K         float64 `json:"k,omitempty"`
 	X         float64 `json:"x,omitempty"`
+	// TimeoutMs tightens the server's deadline for this request.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // refineResponse carries the narrowed query.
@@ -353,6 +508,9 @@ type refineResponse struct {
 }
 
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req refineRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -362,9 +520,6 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Refine against the snapshot /v1/query currently serves, so the path
-	// addresses the same tree the client is looking at.
-	sys := s.currentSystem()
 	q, err := repro.ParseQuery(req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -380,17 +535,20 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if req.X > 0 {
 		opts.X = req.X
 	}
-	tree, hit, err := sys.ServeParsed(r.Context(), q, tech, opts)
-	if err != nil {
-		writeServeErr(w, err, http.StatusInternalServerError)
+	// Refining does not learn: the client is navigating a tree /v1/query
+	// already folded in, not issuing a new query.
+	out, ok := s.serveTree(w, r, q, tech, opts, req.TimeoutMs, false, http.StatusInternalServerError)
+	if !ok {
 		return
 	}
-	refined, err := tree.RefineQuery(q, req.Path)
+	refined, err := out.Tree.RefineQuery(q, req.Path)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	setCacheHeader(w, hit)
+	setCacheHeader(w, out.Hit)
+	setDegradedHeader(w, out.Degraded)
+	sys := s.currentSystem()
 	writeJSON(w, http.StatusOK, refineResponse{
 		SQL:         refined.String(),
 		ResultCount: len(sys.Relation().Select(refined.Predicate())),

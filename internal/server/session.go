@@ -175,7 +175,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		tree, resultCount, hit, err = s.cfg.System.Serve(r.Context(), req.SQL, tech, opts)
 	}
 	if err != nil {
-		writeServeErr(w, err, http.StatusBadRequest)
+		writeServeErr(w, r.Context(), err, http.StatusBadRequest)
 		return
 	}
 	sess := session.New(tree, tree.K)

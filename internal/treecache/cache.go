@@ -18,6 +18,9 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
 )
 
 // Config bounds a Cache. A zero bound disables that dimension; both zero
@@ -41,6 +44,10 @@ type Stats struct {
 	Shared uint64 `json:"shared"`
 	// Evictions counts values dropped to respect the bounds.
 	Evictions uint64 `json:"evictions"`
+	// Panics counts computes that panicked. The panic is demoted to a
+	// *resilience.PanicError delivered to every waiter; nothing is cached
+	// and the process survives.
+	Panics uint64 `json:"panics"`
 	// Entries and Bytes describe current occupancy.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
@@ -110,11 +117,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // Do returns the value for key, computing it at most once across concurrent
 // callers. compute receives a context that is detached from any single
 // request but canceled once every caller waiting on this key has gone away;
-// compute returns the value and its approximate size in bytes. hit reports
-// whether the value came from the cache (false for both the computing caller
-// and the waiters that joined it). Errors are returned to every waiting
-// caller and never cached. If ctx is canceled while waiting, Do returns
-// ctx's error.
+// compute returns the value and its approximate size in bytes. A negative
+// size delivers the value to every waiter WITHOUT storing it — for values
+// that must not be memoized, like a degraded tree built under an exhausted
+// deadline budget. hit reports whether the value came from the cache (false
+// for both the computing caller and the waiters that joined it). Errors are
+// returned to every waiting caller and never cached. A panicking compute is
+// recovered at this boundary: every waiter receives a *resilience.PanicError
+// (the entry is not poisoned, the process survives). If ctx is canceled
+// while waiting, Do returns ctx's error.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Context) (V, int64, error)) (val V, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.table[key]; ok {
@@ -137,11 +148,11 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 	c.mu.Unlock()
 
 	go func() {
-		v, size, err := compute(cctx)
+		v, size, err := c.protect(cctx, compute)
 		c.mu.Lock()
 		cl.val, cl.size, cl.err = v, size, err
 		delete(c.inflight, key)
-		if err == nil {
+		if err == nil && size >= 0 {
 			c.insertLocked(key, v, size)
 		}
 		c.mu.Unlock()
@@ -149,6 +160,25 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 		close(cl.done)
 	}()
 	return c.wait(ctx, cl)
+}
+
+// protect runs compute behind the singleflight recover() boundary: a panic
+// anywhere below (the categorizer, an injected fault) becomes an error
+// delivered to all waiters instead of tearing down the process.
+func (c *Cache[V]) protect(cctx context.Context, compute func(context.Context) (V, int64, error)) (v V, size int64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			var zero V
+			v, size, err = zero, 0, resilience.NewPanicError(p)
+			c.mu.Lock()
+			c.stats.Panics++
+			c.mu.Unlock()
+		}
+	}()
+	if err = faultinject.Inject(cctx, faultinject.SiteCacheCompute); err != nil {
+		return v, 0, err
+	}
+	return compute(cctx)
 }
 
 // wait blocks until the call completes or ctx is canceled. Abandoning the

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 func bg() context.Context { return context.Background() }
@@ -235,5 +237,151 @@ func TestConcurrentMixed(t *testing.T) {
 	s := c.Stats()
 	if s.Entries > 8 || s.Bytes > 1<<16 {
 		t.Fatalf("bounds violated: %+v", s)
+	}
+}
+
+// TestErrorReachesEveryWaiter: N concurrent callers join one failing
+// compute; every one of them gets the error, nothing is cached, and a later
+// call recomputes.
+func TestErrorReachesEveryWaiter(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+				<-release
+				return 0, 0, boom
+			})
+		}(i)
+	}
+	waitJoined(t, c, n)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("failed compute cached an entry: %+v", s)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed compute left a value behind")
+	}
+}
+
+// TestPanicReachesEveryWaiter: a panicking compute is recovered at the
+// singleflight boundary; every concurrent waiter receives a
+// *resilience.PanicError, the cache is not poisoned, the Panics counter
+// moves, and the key is computable again afterwards.
+func TestPanicReachesEveryWaiter(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	release := make(chan struct{})
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+				<-release
+				panic("kaboom")
+			})
+		}(i)
+	}
+	waitJoined(t, c, n)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("waiter %d: err = %v (%T), want *resilience.PanicError", i, err, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("waiter %d: panic value = %v", i, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("waiter %d: panic error lost the stack", i)
+		}
+	}
+	s := c.Stats()
+	if s.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", s.Panics)
+	}
+	if s.Entries != 0 {
+		t.Fatalf("panicking compute cached an entry: %+v", s)
+	}
+	// The key is not poisoned: the next Do computes normally.
+	v, _, err := c.Do(bg(), "k", func(context.Context) (int, int64, error) { return 9, 8, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("Do after panic = %d, %v", v, err)
+	}
+}
+
+// TestNegativeSizeDeliversWithoutStoring: the no-store sentinel (size < 0)
+// hands the value to every waiter but leaves the cache empty — the serving
+// path uses it so a degraded tree is never memoized as full-fidelity.
+func TestNegativeSizeDeliversWithoutStoring(t *testing.T) {
+	c := New[int](Config{MaxEntries: 4})
+	release := make(chan struct{})
+	const n = 4
+	vals := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(bg(), "k", func(context.Context) (int, int64, error) {
+				<-release
+				return 5, -1, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	waitJoined(t, c, n)
+	close(release)
+	wg.Wait()
+	for i, v := range vals {
+		if v != 5 {
+			t.Fatalf("waiter %d got %d, want 5", i, v)
+		}
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("no-store value was cached")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("no-store compute changed occupancy: %+v", s)
+	}
+	// A later compute with a real size does store.
+	c.Do(bg(), "k", func(context.Context) (int, int64, error) { return 6, 8, nil })
+	if v, ok := c.Get("k"); !ok || v != 6 {
+		t.Fatalf("storeable recompute: got %d, %v", v, ok)
+	}
+}
+
+// waitJoined blocks until n callers have either started or joined the
+// in-flight compute for the test's key.
+func waitJoined(t *testing.T, c *Cache[int], n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.Misses+s.Shared >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("callers never joined: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

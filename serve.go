@@ -2,12 +2,17 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/category"
 	"repro/internal/relation"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/sqlparse"
 	"repro/internal/treecache"
 )
@@ -22,6 +27,79 @@ import (
 
 // CacheStats is a point-in-time snapshot of the tree cache's counters.
 type CacheStats = treecache.Stats
+
+// ServePolicy is the per-request resilience budget (DESIGN.md §10): a hard
+// server-side deadline, the soft budget that triggers degradation, and the
+// degradation switch. The zero value reproduces the pre-resilience serving
+// path exactly.
+type ServePolicy = resilience.Policy
+
+// Degradation reports how far down the ladder a served tree was built.
+type Degradation = resilience.Degradation
+
+// Degradation rungs: full fidelity, Attr-Cost baseline, flat SHOWTUPLES.
+const (
+	DegradeNone     = resilience.DegradeNone
+	DegradeAttrCost = resilience.DegradeAttrCost
+	DegradeFlat     = resilience.DegradeFlat
+)
+
+// ServeOutcome is one serving-path result: the tree, whether it came from
+// the cache, and whether (and how far) it was degraded. A degraded tree
+// never reports Hit — degraded results are delivered to the singleflight
+// waiters that co-requested them but are never stored in the cache.
+type ServeOutcome struct {
+	Tree     *Tree
+	Hit      bool
+	Degraded Degradation
+}
+
+// served is the tree cache's value type: the tree plus its degradation rung,
+// so singleflight waiters joining a degraded compute learn what they got.
+// Stored entries are always full fidelity (degraded computes are not
+// inserted).
+type served struct {
+	tree *Tree
+	deg  Degradation
+}
+
+// errSoftBudget is the cancellation cause of a degradation step's soft
+// budget, distinguishing "this rung was too slow, try a cheaper one" from
+// the hard deadline and from client cancellation.
+var errSoftBudget = errors.New("repro: soft categorization budget exceeded")
+
+// resilienceCounters is shared (by pointer) across an AdaptiveSystem's
+// snapshots, like the relation and the tree cache: the serving path's
+// degradation and panic counts are properties of the serving process, not of
+// one statistics generation.
+type resilienceCounters struct {
+	panics       atomic.Uint64
+	degradedAttr atomic.Uint64
+	degradedFlat atomic.Uint64
+}
+
+// ResilienceStats is a point-in-time snapshot of the serving path's
+// resilience counters (surfaced in /healthz).
+type ResilienceStats struct {
+	// Panics counts categorizer panics converted to errors at a recover()
+	// boundary — both the singleflight compute boundary and the uncached
+	// serving path.
+	Panics uint64 `json:"panics"`
+	// DegradedAttrCost and DegradedFlat count requests served one and two
+	// rungs down the degradation ladder.
+	DegradedAttrCost uint64 `json:"degradedAttrCost"`
+	DegradedFlat     uint64 `json:"degradedFlat"`
+}
+
+// ResilienceStats returns the serving path's degradation and panic counters.
+// For an AdaptiveSystem the counters are shared across snapshots.
+func (s *System) ResilienceStats() ResilienceStats {
+	return ResilienceStats{
+		Panics:           s.resil.panics.Load() + s.CacheStats().Panics,
+		DegradedAttrCost: s.resil.degradedAttr.Load(),
+		DegradedFlat:     s.resil.degradedFlat.Load(),
+	}
+}
 
 // SelectStats is a point-in-time snapshot of the relation's selection
 // counters: vectorized vs fallback path counts, cumulative selection time,
@@ -58,24 +136,156 @@ func (s *System) CacheStats() CacheStats {
 // reports whether the tree came from the cache. The returned tree is shared
 // — treat it as immutable (render, estimate, refine; do not RankTree it).
 // ctx cancellation abandons the wait and, cooperatively, the computation.
+// ServeParsed is ServeParsedWith under the zero policy: no server deadline,
+// no degradation.
 func (s *System) ServeParsed(ctx context.Context, q *Query, tech Technique, opts Options) (*Tree, bool, error) {
+	out, err := s.ServeParsedWith(ctx, q, tech, opts, ServePolicy{})
+	return out.Tree, out.Hit, err
+}
+
+// ServeParsedWith is ServeParsed under a resilience policy (DESIGN.md §10).
+// pol.Deadline imposes a server-side wall budget: when it fires, the error
+// satisfies errors.Is(err, resilience.ErrServerTimeout), distinguishing the
+// server's deadline from the client abandoning the request. With pol.Degrade
+// set, a cost-based build that blows pol.SoftBudget degrades stepwise — the
+// Attr-Cost baseline, then the flat SHOWTUPLES tree — rather than erroring;
+// the rung comes back in the outcome's Degraded field. Degraded trees are
+// delivered to the singleflight waiters that co-requested them but are never
+// cached as if they were the full tree. Panics anywhere in the categorizer
+// are converted to errors at a recover() boundary; the process survives.
+func (s *System) ServeParsedWith(ctx context.Context, q *Query, tech Technique, opts Options, pol ServePolicy) (ServeOutcome, error) {
+	var out ServeOutcome
 	if q == nil {
-		return nil, false, fmt.Errorf("repro: ServeParsed requires a query")
+		return out, fmt.Errorf("repro: ServeParsed requires a query")
+	}
+	pol = pol.Effective()
+	if pol.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, pol.Deadline, resilience.ErrServerTimeout)
+		defer cancel()
 	}
 	if !s.cache.Enabled() {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return out, mapDeadlineErr(ctx, err)
 		}
-		tree, err := s.buildTree(ctx, q, s.rel.Select(q.Predicate()), tech, opts)
-		return tree, false, err
-	}
-	return s.cache.Do(ctx, s.cacheKey(q, tech, opts), func(cctx context.Context) (*Tree, int64, error) {
-		tree, err := s.buildTree(cctx, q, s.rel.Select(q.Predicate()), tech, opts)
+		tree, deg, err := s.buildLadder(ctx, q, s.rel.Select(q.Predicate()), tech, opts, pol)
 		if err != nil {
-			return nil, 0, err
+			return out, mapDeadlineErr(ctx, err)
 		}
-		return tree, treeBytes(tree), nil
+		return ServeOutcome{Tree: tree, Degraded: deg}, nil
+	}
+	v, hit, err := s.cache.Do(ctx, s.cacheKey(q, tech, opts), func(cctx context.Context) (served, int64, error) {
+		tree, deg, err := s.buildLadder(cctx, q, s.rel.Select(q.Predicate()), tech, opts, pol)
+		if err != nil {
+			return served{}, 0, err
+		}
+		if deg != DegradeNone {
+			// A degraded tree is an overload artifact, not the query's true
+			// categorization: hand it to the waiters, store nothing.
+			return served{tree, deg}, -1, nil
+		}
+		return served{tree, deg}, treeBytes(tree), nil
 	})
+	if err != nil {
+		return out, mapDeadlineErr(ctx, err)
+	}
+	return ServeOutcome{Tree: v.tree, Hit: hit, Degraded: v.deg}, nil
+}
+
+// Peek returns the memoized full-fidelity tree for q if one is stored,
+// computing nothing. This is the admission-control bypass: a cache hit costs
+// no categorization, so the server needn't spend a concurrency slot on it.
+func (s *System) Peek(q *Query, tech Technique, opts Options) (*Tree, bool) {
+	if q == nil || !s.cache.Enabled() {
+		return nil, false
+	}
+	if v, ok := s.cache.Get(s.cacheKey(q, tech, opts)); ok {
+		return v.tree, true
+	}
+	return nil, false
+}
+
+// mapDeadlineErr tags a context error caused by the server-imposed deadline
+// with resilience.ErrServerTimeout, so callers (and the HTTP layer's 504 vs
+// 499 mapping) need not reach back into the context for the cause.
+func mapDeadlineErr(ctx context.Context, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(context.Cause(ctx), resilience.ErrServerTimeout) && !errors.Is(err, resilience.ErrServerTimeout) {
+			return fmt.Errorf("%w: %w", resilience.ErrServerTimeout, err)
+		}
+	}
+	return err
+}
+
+// buildLadder is the deadline-budgeted build behind the serving path. Without
+// degradation it is one protected build. With it, each rung gets a soft wall
+// budget (full technique, then — for cost-based requests — the Attr-Cost
+// baseline at half the budget); a rung that blows its budget while the
+// request is still alive falls through to the next, and the final rung is
+// the flat SHOWTUPLES tree, which always succeeds immediately. Real errors
+// (hard deadline, client cancellation, panics, bad input) abort the ladder.
+func (s *System) buildLadder(ctx context.Context, q *Query, rows []int, tech Technique, opts Options, pol ServePolicy) (*Tree, Degradation, error) {
+	if err := faultinject.Inject(ctx, faultinject.SiteServeBuild); err != nil {
+		return nil, DegradeNone, err
+	}
+	if !pol.Degrade || pol.SoftBudget <= 0 {
+		tree, err := s.protectedBuild(ctx, q, rows, tech, opts)
+		return tree, DegradeNone, err
+	}
+	type rung struct {
+		tech   Technique
+		budget time.Duration
+		deg    Degradation
+	}
+	rungs := []rung{{tech, pol.SoftBudget, DegradeNone}}
+	if tech == CostBased {
+		rungs = append(rungs, rung{AttrCost, pol.SoftBudget / 2, DegradeAttrCost})
+	}
+	for _, r := range rungs {
+		sctx, cancel := context.WithTimeoutCause(ctx, r.budget, errSoftBudget)
+		tree, err := s.protectedBuild(sctx, q, rows, r.tech, opts)
+		cancel()
+		if err == nil {
+			if r.deg == DegradeAttrCost {
+				s.resil.degradedAttr.Add(1)
+			}
+			return tree, r.deg, nil
+		}
+		soft := errors.Is(context.Cause(sctx), errSoftBudget)
+		if !soft && errors.Is(err, context.DeadlineExceeded) {
+			// The build observed the rung's deadline on the wall clock before
+			// the runtime timer delivered it (a saturated scheduler starves
+			// timers; the cancel above then recorded Canceled as the cause).
+			// It was the rung's own budget only if it was tighter than any
+			// deadline the request already carried.
+			if d, ok := sctx.Deadline(); ok {
+				if rd, rok := ctx.Deadline(); !rok || d.Before(rd) {
+					soft = true
+				}
+			}
+		}
+		if ctx.Err() != nil || !soft {
+			// The request itself died (hard deadline, all waiters gone) or the
+			// build failed for a non-budget reason: degrading won't help.
+			return nil, DegradeNone, err
+		}
+	}
+	s.resil.degradedFlat.Add(1)
+	return category.FlatTree(s.rel, rows, opts), DegradeFlat, nil
+}
+
+// protectedBuild is buildTree behind a recover() boundary: a panic anywhere
+// in the categorizer becomes a *resilience.PanicError instead of tearing
+// down the process (the cached path has the same boundary inside the
+// singleflight, so panics are isolated with or without the cache).
+func (s *System) protectedBuild(ctx context.Context, q *Query, rows []int, tech Technique, opts Options) (tree *Tree, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			tree, err = nil, resilience.NewPanicError(p)
+			s.resil.panics.Add(1)
+		}
+	}()
+	return s.buildTree(ctx, q, rows, tech, opts)
 }
 
 // Serve is ServeParsed over a SQL string, additionally returning the result
@@ -105,6 +315,9 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 		// probabilities from construction; no re-annotation.
 	case AttrCost, NoCost:
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Inject(ctx, faultinject.SiteBaseline); err != nil {
 			return nil, err
 		}
 		b := &category.Baseline{Stats: s.stats, Opts: opts, Kind: tech}

@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The soft budget must be enforced on the wall clock, not just by timer
+// delivery: on a saturated scheduler (GOMAXPROCS=1 with a CPU-bound build)
+// the runtime delivers a soft-budget timer milliseconds late — roughly when
+// the build finishes — which would let every build run to completion and
+// never degrade. With the clock-based check the ladder degrades regardless
+// of timer latency, so this passes deterministically on any core count.
+func TestSoftBudgetEnforcedUnderTimerStarvation(t *testing.T) {
+	sys, err := NewSystem(DemoDataset(12000, 1), Config{
+		WorkloadSQL: DemoWorkloadSQL(3000, 2),
+		Intervals:   DemoIntervals(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("SELECT * FROM ListProperty WHERE price BETWEEN 150000 AND 450000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20µs is far below one candidate evaluation at this scale, so the
+	// cost-based rung must be abandoned whether or not its timer fires.
+	out, err := sys.ServeParsedWith(context.Background(), q, CostBased, Options{},
+		ServePolicy{SoftBudget: 20 * time.Microsecond, Degrade: true})
+	if err != nil {
+		t.Fatalf("ServeParsedWith: %v", err)
+	}
+	if out.Degraded == DegradeNone {
+		t.Fatal("a 20µs soft budget served a full-fidelity cost-based tree; the budget was not observed")
+	}
+	if out.Tree == nil {
+		t.Fatal("degraded serve returned no tree")
+	}
+}

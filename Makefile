@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench check chaos report examples fuzz clean
+.PHONY: all build test race bench bench-all servebench selectbench check chaos report examples fuzz lint lint-selfcheck ci clean
 
 all: build test
 
@@ -14,14 +14,36 @@ test:
 race:
 	go test -race ./...
 
-# Vet plus the race-checked hot packages: the categorizer's worker pool, the
-# relation's column caches and conjunct-bitmap cache, and the serving path
-# (singleflight tree cache, snapshot-swapped workload stats, bounded session
-# table, admission limiter, fault injector).
-check:
-	go vet ./...
+# Vet, catlint, plus the race-checked hot packages: the categorizer's worker
+# pool, the relation's column caches and conjunct-bitmap cache, and the
+# serving path (singleflight tree cache, snapshot-swapped workload stats,
+# bounded session table, admission limiter, fault injector).
+check: lint
 	go test -race ./internal/category ./internal/relation ./internal/sqlparse \
 		./internal/treecache ./internal/server ./internal/resilience/... .
+
+# catlint (DESIGN.md §11): the project-specific static-analysis suite. Every
+# check mechanizes an invariant a past PR broke and then fixed by hand. Use
+# `go run ./cmd/catlint -json ./...` for machine-readable diagnostics and
+# `go run ./cmd/catlint -list` for the check inventory.
+lint:
+	gofmt -l . | grep . && exit 1 || true
+	go vet ./...
+	go run ./cmd/catlint ./...
+
+# Self-check: catlint must exit non-zero on the seeded-violation fixtures
+# (the go tool's ... wildcard skips testdata, so the fixture packages are
+# enumerated outright) and its own fixture tests must pass.
+lint-selfcheck:
+	@if go run ./cmd/catlint $$(find internal/lint/testdata/src -name '*.go' \
+		| xargs -n1 dirname | sort -u | sed 's|^|./|') >/dev/null; then \
+		echo "catlint failed to flag the seeded fixture violations" >&2; exit 1; \
+	else echo "catlint flags the seeded fixtures: ok"; fi
+	go test ./internal/lint
+
+# Everything CI runs, in CI's order.
+ci:
+	./ci.sh
 
 # The fault-injection chaos suite (DESIGN.md §10) under the race detector:
 # seeded latency/stall/panic faults at every named site while 8 workers
@@ -91,3 +113,4 @@ fuzz:
 
 clean:
 	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt
+	rm -f catlint catlint.json lint_output.txt

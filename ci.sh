@@ -1,0 +1,40 @@
+#!/bin/sh
+# CI pipeline: every gate a change must pass, cheapest first. Run locally as
+# `make ci` or `./ci.sh`; CI systems invoke it verbatim, so the local run and
+# the CI run can never drift.
+set -eu
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "catlint (project-specific static analysis, DESIGN.md §11)"
+go run ./cmd/catlint ./...
+
+step "catlint self-check: seeded fixtures must fail, fixture tests must pass"
+make lint-selfcheck
+
+step "go test"
+go test ./...
+
+step "race detector on the hot packages"
+go test -race ./internal/category ./internal/relation ./internal/sqlparse \
+    ./internal/treecache ./internal/server ./internal/resilience/... .
+
+step "chaos smoke (fault-injection suite)"
+go test -race -count=1 -run 'TestChaos' ./internal/server
+
+echo
+echo "ci: all gates passed"

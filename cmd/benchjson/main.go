@@ -33,16 +33,16 @@ type sample struct {
 type Result struct {
 	Name        string  `json:"name"`
 	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`      // mean
-	MinNsPerOp  float64 `json:"min_ns_per_op"`  // best run
-	BytesPerOp  float64 `json:"bytes_per_op"`   // mean
-	AllocsPerOp float64 `json:"allocs_per_op"`  // mean
+	NsPerOp     float64 `json:"ns_per_op"`     // mean
+	MinNsPerOp  float64 `json:"min_ns_per_op"` // best run
+	BytesPerOp  float64 `json:"bytes_per_op"`  // mean
+	AllocsPerOp float64 `json:"allocs_per_op"` // mean
 
 	// Joined from -baseline when present.
-	Baseline     *Result `json:"baseline,omitempty"`
-	Speedup      float64 `json:"speedup,omitempty"`       // baseline mean ns / mean ns
-	AllocsRatio  float64 `json:"allocs_ratio,omitempty"`  // baseline allocs / allocs
-	BytesRatio   float64 `json:"bytes_ratio,omitempty"`   // baseline bytes / bytes
+	Baseline    *Result `json:"baseline,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`      // baseline mean ns / mean ns
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"` // baseline allocs / allocs
+	BytesRatio  float64 `json:"bytes_ratio,omitempty"`  // baseline bytes / bytes
 }
 
 // report is the top-level JSON document.

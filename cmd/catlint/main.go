@@ -1,0 +1,85 @@
+// Command catlint runs the repository's project-specific static-analysis
+// suite (internal/lint): seven checks, each mechanizing an invariant a past
+// PR broke and then fixed by hand — see DESIGN.md §11.
+//
+// Usage:
+//
+//	catlint [-json] [-checks a,b,c] [-list] [packages...]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 findings, 2 driver
+// error. Suppress one line with `//lint:ignore <check> <reason>` on the
+// offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	checks := lint.Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	if *checksFlag != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*checksFlag, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Check
+		for _, c := range checks {
+			if keep[c.Name] {
+				selected = append(selected, c)
+				delete(keep, c.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "catlint: unknown check %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		checks = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.DefaultConfig(), checks)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "catlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

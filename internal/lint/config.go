@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Config scopes the checks to the packages and functions they guard.
+//
+// Package patterns match in two ways: a pattern containing a '/' matches any
+// import path that contains it as a substring (so "internal/category" covers
+// both the real package and the fixture mirrors under
+// internal/lint/testdata/src/internal/category), while a pattern without a
+// '/' must equal the whole import path (so the module root "repro" does not
+// swallow every subpackage). Function patterns are substrings of the
+// fully-qualified "pkgpath.Func" (or "pkgpath.Type.Method") name.
+type Config struct {
+	// OptStructs names the caller-owned parameter struct types optmut
+	// protects: by-value parameters of a matching type must not have their
+	// slice/map fields mutated in place (PR1's removeAttr clobbered the
+	// caller's Options.CandidateAttrs through exactly such a field).
+	OptStructs *regexp.Regexp
+
+	// FanoutPkgs are the packages whose goroutine fan-outs must poll
+	// cancellation (ctxpoll); PollFuncs are the approved poll entry points
+	// beyond the built-in ctx.Err()/ctx.Done()/faultinject.Inject forms.
+	FanoutPkgs []string
+	PollFuncs  []string
+
+	// SigFuncs matches the names of functions that build signatures or cache
+	// keys; inside them sigfloat bans fmt/strconv float formatting (PR3's
+	// HiInc collision came from ad-hoc float spelling). SigNumFuncs are the
+	// approved canonical formatters (relation.SigNum itself).
+	SigFuncs    *regexp.Regexp
+	SigNumFuncs []string
+
+	// RecoverPkgs may contain bare recover() calls (the sanctioned panic
+	// boundary); everywhere else recoverbound demands resilience.Protect.
+	// BoundaryPkgs are the serving packages whose spawned goroutines must
+	// pass through a boundary matching ProtectFuncs or a deferred recover.
+	RecoverPkgs  []string
+	BoundaryPkgs []string
+	ProtectFuncs *regexp.Regexp
+
+	// HotPkgs are the categorizer hot-path packages where hottime bans raw
+	// clock reads (PR4: timer starvation made ad-hoc time handling a
+	// correctness issue); HotApprovedFuncs are the sanctioned soft-budget
+	// poll sites.
+	HotPkgs          []string
+	HotApprovedFuncs []string
+
+	// NoCopyPkgs is the serving path for the copylocks-style nocopy check:
+	// types carrying mutexes or atomics — and the reference-semantics types
+	// listed in NoCopyTypes ("pkgpath.Type" substrings) — must not be passed
+	// or returned by value there.
+	NoCopyPkgs  []string
+	NoCopyTypes []string
+}
+
+// DefaultConfig returns the repository's tuned configuration. The testdata
+// fixture packages mirror the real layout under
+// internal/lint/testdata/src/, so the same substring patterns scope both.
+func DefaultConfig() *Config {
+	return &Config{
+		OptStructs: regexp.MustCompile(`(Options|Config|Policy)$`),
+
+		FanoutPkgs: []string{"internal/category"},
+		PollFuncs:  []string{"ctxExpired"},
+
+		SigFuncs:    regexp.MustCompile(`(?i)(sig|key)`),
+		SigNumFuncs: []string{"internal/relation.SigNum"},
+
+		RecoverPkgs:  []string{"internal/resilience"},
+		BoundaryPkgs: []string{"repro", "internal/server", "internal/treecache"},
+		ProtectFuncs: regexp.MustCompile(`(?i)protect`),
+
+		HotPkgs:          []string{"internal/category", "internal/relation"},
+		HotApprovedFuncs: []string{"internal/category.ctxExpired"},
+
+		NoCopyPkgs: []string{
+			"repro", "internal/server", "internal/treecache",
+			"internal/resilience", "internal/relation", "internal/category",
+		},
+		NoCopyTypes: []string{"internal/relation.Bitmap"},
+	}
+}
+
+// matchPkg reports whether the import path matches any pattern under the
+// Config matching rules.
+func matchPkg(path string, pats []string) bool {
+	for _, p := range pats {
+		if strings.Contains(p, "/") {
+			if strings.Contains(path, p) {
+				return true
+			}
+		} else if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// matchFunc reports whether the fully-qualified function name matches any
+// pattern (substring).
+func matchFunc(qualified string, pats []string) bool {
+	for _, p := range pats {
+		if strings.Contains(qualified, p) {
+			return true
+		}
+	}
+	return false
+}

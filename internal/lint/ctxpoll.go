@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkCtxPoll guards the cancellation discipline of the categorizer's
+// fan-out (PR2 threaded context through the level loop; PR4 made the polls
+// deadline-aware): every goroutine spawned in a fan-out package must reach a
+// cancellation poll — ctxExpired, ctx.Err(), <-ctx.Done(), or
+// faultinject.Inject — directly or through a function it calls. A worker
+// that never polls keeps burning CPU after the request died, defeating both
+// cancellation and the soft-budget degradation ladder.
+var checkCtxPoll = &Check{
+	Name: "ctxpoll",
+	Doc:  "goroutines fanning out categorizer work must poll cancellation/deadline",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) {
+	if !matchPkg(pass.Path, pass.Cfg.FanoutPkgs) {
+		return
+	}
+	polls := newPollSet(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !polls.callPolls(g.Call) {
+				pass.Reportf(g.Pos(), "goroutine never polls cancellation; call %s or ctx.Err() in its loop",
+					pollName(pass.Cfg))
+			}
+			return true
+		})
+	}
+}
+
+func pollName(cfg *Config) string {
+	if len(cfg.PollFuncs) > 0 {
+		return cfg.PollFuncs[0]
+	}
+	return "ctx.Err"
+}
+
+// pollSet computes, to a fixpoint over the package, which functions
+// (declarations and function-literal locals) transitively reach a
+// cancellation poll.
+type pollSet struct {
+	pass   *Pass
+	bodies map[types.Object]*ast.BlockStmt // declared funcs + local func-lit vars
+	polls  map[types.Object]bool
+}
+
+func newPollSet(pass *Pass) *pollSet {
+	ps := &pollSet{
+		pass:   pass,
+		bodies: make(map[types.Object]*ast.BlockStmt),
+		polls:  make(map[types.Object]bool),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					ps.bodies[obj] = fd.Body
+				}
+			}
+		}
+		// Function literals bound to local variables (x := func() {...})
+		// behave like named helpers in a fan-out loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil {
+					ps.bodies[obj] = lit.Body
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, body := range ps.bodies {
+			if !ps.polls[obj] && ps.bodyPolls(body) {
+				ps.polls[obj] = true
+				changed = true
+			}
+		}
+	}
+	return ps
+}
+
+// callPolls reports whether the go statement's callee reaches a poll: a
+// function literal whose body polls, or a resolved function known to poll.
+func (ps *pollSet) callPolls(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return ps.bodyPolls(fun.Body)
+	case *ast.Ident:
+		if obj := ps.pass.Info.Uses[fun]; obj != nil {
+			return ps.polls[obj]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := ps.pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return ps.polls[fn]
+		}
+	}
+	return false
+}
+
+// bodyPolls reports whether the body syntactically contains a poll or a call
+// to a known-polling function.
+func (ps *pollSet) bodyPolls(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ps.isPollCall(call) || ps.callPolls(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPollCall recognizes the approved poll forms: a configured poll function
+// (ctxExpired), ctx.Err() / ctx.Done() on a context.Context, and
+// faultinject.Inject (which polls the context at every site).
+func (ps *pollSet) isPollCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		for _, p := range ps.pass.Cfg.PollFuncs {
+			if fun.Name == p {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if (fun.Sel.Name == "Err" || fun.Sel.Name == "Done") && len(call.Args) == 0 {
+			if tv, ok := ps.pass.Info.Types[fun.X]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+		if fn, ok := ps.pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fn.Name() == "Inject" && strings.Contains(funcPkgPath(fn), "faultinject") {
+				return true
+			}
+			for _, p := range ps.pass.Cfg.PollFuncs {
+				if fn.Name() == p {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <checks> <reason>` comment:
+// checks is a comma-separated list of check names (or "*"), and a non-empty
+// reason is mandatory — a suppression without a recorded justification is
+// itself a finding (the driver reports it under the "lint" pseudo-check).
+type ignoreDirective struct {
+	file   string
+	line   int
+	checks []string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores parses every suppression directive in the package. A
+// malformed directive is reported by appending a synthetic diagnostic via
+// the returned slice's companion — here we return directives only; Run
+// reports malformed ones through filterIgnored's first pass.
+func collectIgnores(pkg *Package) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{file: pos.Filename, line: pos.Line}
+				if len(fields) >= 2 {
+					d.checks = strings.Split(fields[0], ",")
+				}
+				// A directive without both a check list and a reason
+				// suppresses nothing: its empty checks list never matches,
+				// so the underlying diagnostic still surfaces.
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// filterIgnored drops diagnostics covered by a directive on the same line or
+// the line immediately above (matching the check name or "*").
+func filterIgnored(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, dirs) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if !sameFile(dir.file, d.File) || (dir.line != d.Line && dir.line != d.Line-1) {
+			continue
+		}
+		for _, c := range dir.checks {
+			if c == "*" || c == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sameFile compares a directive's (absolute) filename with a diagnostic's
+// possibly working-directory-relative one by suffix.
+func sameFile(dirFile, diagFile string) bool {
+	return dirFile == diagFile || strings.HasSuffix(dirFile, "/"+diagFile)
+}

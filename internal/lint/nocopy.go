@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkNoCopy is the copylocks-style guard for the serving path: types whose
+// values embed a mutex or a sync/atomic value (treecache.Cache, the
+// conjunct-LRU state, the admission Limiter, the stats counters) — and the
+// listed reference-semantics types like relation.Bitmap — must move by
+// pointer. Passing or returning one by value forks its lock or counter
+// state (or, for Bitmap, silently aliases half and copies half), which the
+// race detector only catches if both halves happen to be exercised. go
+// vet's copylocks stops at sync.Locker; this extends the rule to atomics
+// and to the repo's own no-copy types, at every function signature on the
+// serving path.
+var checkNoCopy = &Check{
+	Name: "nocopy",
+	Doc:  "mutex/atomic-bearing and designated reference types never pass or return by value on the serving path",
+	Run:  runNoCopy,
+}
+
+func runNoCopy(pass *Pass) {
+	if !matchPkg(pass.Path, pass.Cfg.NoCopyPkgs) {
+		return
+	}
+	memo := make(map[types.Type]string)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				checkNoCopyFields(pass, memo, fd.Recv, "receiver")
+			}
+			checkNoCopyFields(pass, memo, fd.Type.Params, "parameter")
+			checkNoCopyFields(pass, memo, fd.Type.Results, "result")
+		}
+	}
+}
+
+func checkNoCopyFields(pass *Pass, memo map[types.Type]string, fields *ast.FieldList, role string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if why := noCopyReason(pass, memo, tv.Type); why != "" {
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value; it %s — pass a pointer", role, typeString(tv.Type), why)
+		}
+	}
+}
+
+func typeString(t types.Type) string {
+	if pkg, name, ok := namedFrom(t); ok {
+		if pkg == "" {
+			return name
+		}
+		return fmt.Sprintf("%s.%s", pkgBase(pkg), name)
+	}
+	return t.String()
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// noCopyReason reports why t must not be copied ("" when copying is fine):
+// it is a designated no-copy type, or its value (recursively through
+// structs and arrays, not through pointers/slices/maps) contains a sync or
+// sync/atomic state-bearing type.
+func noCopyReason(pass *Pass, memo map[types.Type]string, t types.Type) string {
+	if why, ok := memo[t]; ok {
+		return why
+	}
+	memo[t] = "" // cycle guard: a type reached through itself adds nothing new
+	why := noCopyReasonUncached(pass, memo, t)
+	memo[t] = why
+	return why
+}
+
+func noCopyReasonUncached(pass *Pass, memo map[types.Type]string, t types.Type) string {
+	if pkg, name, ok := namedFrom(t); ok {
+		qualified := pkg + "." + name
+		if matchFunc(qualified, pass.Cfg.NoCopyTypes) {
+			return "is a designated no-copy reference type"
+		}
+		switch pkg {
+		case "sync":
+			switch name {
+			case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Map", "Pool":
+				return fmt.Sprintf("contains sync.%s state", name)
+			}
+		case "sync/atomic":
+			return fmt.Sprintf("contains atomic.%s state", name)
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if why := noCopyReason(pass, memo, u.Field(i).Type()); why != "" {
+				return why
+			}
+		}
+	case *types.Array:
+		return noCopyReason(pass, memo, u.Elem())
+	}
+	return ""
+}

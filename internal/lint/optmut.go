@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkOptMut guards the invariant PR1 broke: a by-value parameter of a
+// caller-owned configuration struct (Options and friends) copies the struct
+// header only — its slice and map fields still alias the caller's backing
+// storage. removeAttr once filtered Options.CandidateAttrs in place and
+// clobbered the caller's slice across the level loop. The check flags every
+// in-place mutation that reaches the caller through such a field: element
+// writes, delete, append to the field (spare capacity lands in the caller's
+// array), in-place sorts, and copy-into.
+var checkOptMut = &Check{
+	Name: "optmut",
+	Doc:  "no in-place mutation of slice/map fields of caller-owned config-struct parameters",
+	Run:  runOptMut,
+}
+
+func runOptMut(pass *Pass) {
+	eachFunc(pass.Package, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		ft := decl.Type
+		if lit != nil {
+			ft = lit.Type
+		}
+		params := optStructParams(pass, ft)
+		if len(params) == 0 {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && lit == nil && n != body {
+				return false // literals get their own eachFunc visit
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if v, field, ok := aliasedWrite(pass, params, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"writes through field %s of by-value %s parameter %s; the backing storage is the caller's",
+							field, typeName(v), v.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if v, field, ok := aliasedWrite(pass, params, n.X); ok {
+					pass.Reportf(n.X.Pos(),
+						"writes through field %s of by-value %s parameter %s; the backing storage is the caller's",
+						field, typeName(v), v.Name())
+				}
+			case *ast.CallExpr:
+				checkOptMutCall(pass, params, n)
+			}
+			return true
+		})
+	})
+}
+
+// optStructParams collects the function's by-value parameters whose named
+// struct type matches Config.OptStructs.
+func optStructParams(pass *Pass, ft *ast.FuncType) map[*types.Var]bool {
+	var params map[*types.Var]bool
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			v, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			_, tn, ok := namedFrom(v.Type())
+			if !ok || !pass.Cfg.OptStructs.MatchString(tn) {
+				continue
+			}
+			if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			if params == nil {
+				params = make(map[*types.Var]bool)
+			}
+			params[v] = true
+		}
+	}
+	return params
+}
+
+// aliasedWrite reports whether writing to expr stores through caller-shared
+// storage reached from a tracked parameter: the expression must bottom out
+// at the parameter and cross at least one slice index, map index, or pointer
+// dereference on the way (a plain field write only touches the local copy).
+func aliasedWrite(pass *Pass, params map[*types.Var]bool, expr ast.Expr) (*types.Var, string, bool) {
+	crossed := false
+	field := ""
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			switch pass.Info.Types[e.X].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				crossed = true
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			crossed = true
+			expr = e.X
+		case *ast.SelectorExpr:
+			if field == "" {
+				field = e.Sel.Name
+			} else {
+				field = e.Sel.Name + "." + field
+			}
+			if _, ok := pass.Info.Types[e.X].Type.Underlying().(*types.Pointer); ok {
+				crossed = true
+			}
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[e].(*types.Var); ok && params[v] && crossed && field != "" {
+				return v, field, true
+			}
+			return nil, "", false
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// rootedField reports whether expr is a selector chain param.F(.G…) over a
+// tracked parameter, returning the parameter and the dotted field path.
+func rootedField(pass *Pass, params map[*types.Var]bool, expr ast.Expr) (*types.Var, string, bool) {
+	field := ""
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if field == "" {
+				field = e.Sel.Name
+			} else {
+				field = e.Sel.Name + "." + field
+			}
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[e].(*types.Var); ok && params[v] && field != "" {
+				return v, field, true
+			}
+			return nil, "", false
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// checkOptMutCall flags calls that mutate a tracked parameter's slice/map
+// field: delete, append (first argument), copy (destination), and the
+// standard in-place sorters.
+func checkOptMutCall(pass *Pass, params map[*types.Var]bool, call *ast.CallExpr) {
+	report := func(arg ast.Expr, verb string) {
+		if v, field, ok := rootedField(pass, params, arg); ok {
+			pass.Reportf(call.Pos(), "%s field %s of by-value %s parameter %s in place; the caller sees the mutation",
+				verb, field, typeName(v), v.Name())
+		}
+	}
+	switch {
+	case isBuiltin(pass.Info, call, "delete") && len(call.Args) == 2:
+		report(call.Args[0], "deletes from map")
+	case isBuiltin(pass.Info, call, "append") && len(call.Args) > 0:
+		// A full slice expression o.F[:len:len] caps capacity, so append
+		// reallocates instead of writing into the caller's array.
+		if sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok && sl.Slice3 {
+			return
+		}
+		report(call.Args[0], "appends to slice")
+	case isBuiltin(pass.Info, call, "copy") && len(call.Args) == 2:
+		report(call.Args[0], "copies into slice")
+	default:
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || len(call.Args) == 0 {
+			return
+		}
+		if pkg := funcPkgPath(fn); pkg == "sort" || pkg == "slices" {
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Stable", "Reverse":
+				report(call.Args[0], "sorts slice")
+			}
+		}
+	}
+}
+
+func typeName(v *types.Var) string {
+	_, name, _ := namedFrom(v.Type())
+	return name
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkRecoverBound guards the panic-isolation architecture (PR4): panics on
+// the serving path are demoted to *resilience.PanicError at designated
+// boundaries so one poisoned request cannot tear down the process — and so
+// every singleflight waiter sees the same error. Two rules follow:
+//
+//  1. bare recover() belongs only to the approved boundary packages
+//     (internal/resilience); everyone else composes resilience.Protect so
+//     boundaries stay uniform and countable;
+//  2. goroutines spawned in the serving packages must pass through such a
+//     boundary — a protect-style call or a deferred recover — because a
+//     panic in a bare goroutine skips every enclosing boundary and kills
+//     the process no matter how well the request path is protected.
+var checkRecoverBound = &Check{
+	Name: "recoverbound",
+	Doc:  "recover() only in approved boundary packages; serving-path goroutines must run behind a protect boundary",
+	Run:  runRecoverBound,
+}
+
+func runRecoverBound(pass *Pass) {
+	allowRecover := matchPkg(pass.Path, pass.Cfg.RecoverPkgs)
+	boundary := matchPkg(pass.Path, pass.Cfg.BoundaryPkgs)
+	if allowRecover && !boundary {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !allowRecover && isBuiltin(pass.Info, n, "recover") {
+					pass.Reportf(n.Pos(),
+						"bare recover() outside the approved boundary packages; demote panics with resilience.Protect")
+				}
+			case *ast.GoStmt:
+				if boundary && !goHasBoundary(pass, n.Call) {
+					pass.Reportf(n.Pos(),
+						"goroutine on the serving path lacks a recover boundary; run its body through resilience.Protect or a deferred recover")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// goHasBoundary reports whether the spawned call runs behind a panic
+// boundary: its body (function literal, or same-package declared function)
+// contains a call to a protect-style function or a deferred recover.
+func goHasBoundary(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasBoundary(pass, fun.Body)
+	case *ast.Ident:
+		if pass.Cfg.ProtectFuncs.MatchString(fun.Name) {
+			return true
+		}
+		if body := declaredBody(pass, fun); body != nil {
+			return bodyHasBoundary(pass, body)
+		}
+	case *ast.SelectorExpr:
+		if pass.Cfg.ProtectFuncs.MatchString(fun.Sel.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+func bodyHasBoundary(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if pass.Cfg.ProtectFuncs.MatchString(fun.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if pass.Cfg.ProtectFuncs.MatchString(fun.Sel.Name) {
+				found = true
+			}
+		}
+		if isBuiltin(pass.Info, call, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredBody resolves an identifier to a same-package function
+// declaration's body.
+func declaredBody(pass *Pass, id *ast.Ident) *ast.BlockStmt {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && pass.Info.Defs[fd.Name] == obj {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkSnapshotGuard guards the snapshot-swap concurrency model (PR2):
+// fields of sync/atomic types — AdaptiveSystem's atomic.Pointer[System]
+// snapshot above all — are only sound when every access goes through their
+// methods (Load/Store/Add/CompareAndSwap). Copying such a field, assigning
+// to it, or smuggling its address out of a method call defeats the
+// atomicity the snapshot design depends on, and a copied atomic silently
+// forks the counter. The check flags any use of an atomic-typed field that
+// is not the receiver of a method call.
+var checkSnapshotGuard = &Check{
+	Name: "snapshotguard",
+	Doc:  "sync/atomic-typed fields accessed only through their methods (no copy, assignment, or address escape)",
+	Run:  runSnapshotGuard,
+}
+
+func runSnapshotGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal || !isAtomicType(sel.Obj().Type()) {
+					return true
+				}
+				if !atomicUseOK(stack) {
+					pass.Reportf(n.Pos(),
+						"atomic field %s used outside a method call; go through Load/Store/Add (copying or reassigning an atomic forks its state)",
+						n.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				// Struct literals must not seed atomic fields with copied
+				// values: {cur: other.cur} copies the atomic.
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := pass.Info.Uses[key].(*types.Var); ok && v.IsField() && isAtomicType(v.Type()) {
+						pass.Reportf(kv.Pos(), "composite literal initializes atomic field %s by value; zero-init and Store instead", key.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicUseOK reports whether the innermost selector on the stack (the
+// atomic field access) is exactly the receiver of a method call:
+// field.Method(...), i.e. CallExpr{Fun: SelectorExpr{X: field}}.
+func atomicUseOK(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	field := stack[len(stack)-1]
+	method, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || method.X != field {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == method
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Pointer[T], atomic.Int64, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	pkg, _, ok := namedFrom(t)
+	return ok && pkg == "sync/atomic"
+}

@@ -1,0 +1,71 @@
+package category
+
+import (
+	"context"
+	"sync"
+)
+
+// fanOutNoPoll spawns workers that never observe cancellation: each spawn is
+// a finding.
+func fanOutNoPoll(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want `goroutine never polls cancellation`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutDirectPoll polls ctx.Err in the worker body: clean.
+func fanOutDirectPoll(ctx context.Context, items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutViaLocalHelper mirrors the real bestPlan worker pool: the goroutine
+// pulls work through a local closure that polls the approved helper. Clean.
+func fanOutViaLocalHelper(ctx context.Context, items []int) {
+	eval := func(i int) {
+		if ctxExpired(ctx) != nil {
+			return
+		}
+		_ = items[i]
+	}
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutNamed launches declared workers: the transitively-polling one is
+// clean, the silent one is a finding.
+func fanOutNamed(ctx context.Context) {
+	go pollingWorker(ctx)
+	go silentWorker() // want `goroutine never polls cancellation`
+}
+
+func pollingWorker(ctx context.Context) {
+	for {
+		if ctxExpired(ctx) != nil {
+			return
+		}
+	}
+}
+
+func silentWorker() { select {} }

@@ -1,0 +1,63 @@
+// Package relation is the serving-path fixture mirror for the nocopy and
+// sigfloat checks: its import path contains "internal/relation", so Bitmap is
+// a designated no-copy type here and SigNum is the approved float speller.
+package relation
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Bitmap mirrors the real dense bitset: words alias on copy while length
+// copies by value, so a by-value Bitmap is half-shared, half-forked.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// lruState mirrors the conjunct-LRU bookkeeping guarded by a mutex.
+type lruState struct {
+	mu    sync.Mutex
+	order []string
+}
+
+// counters mirrors the selection counters.
+type counters struct {
+	selects atomic.Uint64
+}
+
+// byValueParam takes the designated no-copy type by value. Finding.
+func byValueParam(b Bitmap) int { // want `parameter passes relation\.Bitmap by value; it is a designated no-copy reference type`
+	return b.n
+}
+
+// byValueReceiver and its by-value result double the offense. Two findings on
+// one signature line.
+func (b Bitmap) byValueReceiver() Bitmap { // want `receiver passes relation\.Bitmap by value` `result passes relation\.Bitmap by value`
+	return b
+}
+
+// lockByValue forks the mutex. Finding.
+func lockByValue(s lruState) int { // want `parameter passes relation\.lruState by value; it contains sync\.Mutex state`
+	return len(s.order)
+}
+
+// countersByValue forks the atomic counter. Finding.
+func countersByValue(c counters) { // want `parameter passes relation\.counters by value; it contains atomic\.Uint64 state`
+	_ = c
+}
+
+// viaPointer moves everything by pointer. Clean.
+func viaPointer(b *Bitmap, s *lruState, c *counters) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.n + len(s.order) + int(c.selects.Load())
+}
+
+// SigNum mirrors the real canonical float speller: its qualified name matches
+// SigNumFuncs, so its strconv.FormatFloat call is the one sanctioned site
+// even though the function name matches the sig/key pattern. Clean.
+func SigNum(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,21 @@
+// Package resilience is the negative fixture for the recoverbound check: its
+// import path contains "internal/resilience", the one place bare recover()
+// is the point rather than a smell. Nothing in this file wants a diagnostic.
+package resilience
+
+// Guard runs fn and demotes a panic to an error — the approved boundary
+// shape. Its bare recover is legal here.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = asError(p)
+		}
+	}()
+	return fn()
+}
+
+type panicError struct{ v any }
+
+func (p *panicError) Error() string { return "panic" }
+
+func asError(v any) error { return &panicError{v: v} }

@@ -1,0 +1,60 @@
+// Package server is the serving-path fixture mirror for the recoverbound
+// check: its import path contains "internal/server", so goroutines spawned
+// here must run behind a protect boundary, and bare recover() is still
+// forbidden (only internal/resilience may recover directly).
+package server
+
+func work() {}
+
+// spawnUnprotected launches a bare goroutine on the serving path: a panic in
+// it skips every request-level boundary and kills the process. Finding.
+func spawnUnprotected() {
+	go func() { // want `goroutine on the serving path lacks a recover boundary`
+		work()
+	}()
+}
+
+// spawnProtected routes the body through a protect-style call. Clean.
+func spawnProtected() {
+	go func() {
+		protectRun(work)
+	}()
+}
+
+// spawnDeferredRecover carries its own deferred recover: the goroutine is
+// bounded, but the bare recover() itself belongs only to the resilience
+// package — that line is the finding.
+func spawnDeferredRecover() {
+	go func() {
+		defer func() {
+			_ = recover() // want `bare recover\(\) outside the approved boundary packages`
+		}()
+		work()
+	}()
+}
+
+// spawnNamed launches declared workers: the one whose body reaches a protect
+// call is clean, the bare one is a finding.
+func spawnNamed() {
+	go protectedWorker()
+	go bareWorker() // want `goroutine on the serving path lacks a recover boundary`
+}
+
+func protectedWorker() {
+	protectRun(work)
+}
+
+func bareWorker() {
+	work()
+}
+
+// protectRun mirrors the resilience.Protect boundary for the fixture; its
+// local recover is suppressed with a recorded reason, demonstrating the
+// recoverbound suppression path.
+func protectRun(fn func()) {
+	defer func() {
+		//lint:ignore recoverbound fixture: local stand-in for resilience.Protect so the boundary shape is self-contained
+		_ = recover()
+	}()
+	fn()
+}

@@ -1,0 +1,81 @@
+// Package optmut fixtures the caller-owned-options mutation check: functions
+// taking Options-like structs by value must not write through their slice or
+// map fields, because the backing stores are shared with the caller.
+package optmut
+
+import (
+	"sort"
+	"strings"
+)
+
+type Sub struct {
+	Attrs []string
+}
+
+type Options struct {
+	CandidateAttrs []string
+	Weights        map[string]int
+	Nested         Sub
+	MaxBuckets     int
+}
+
+// mutateElement writes through a slice field of a by-value Options: the
+// caller's backing array changes. Finding.
+func mutateElement(o Options) {
+	o.CandidateAttrs[0] = "" // want `writes through field CandidateAttrs of by-value Options parameter o`
+}
+
+// mutateSort sorts a slice field in place. Finding.
+func mutateSort(o Options) {
+	sort.Strings(o.CandidateAttrs) // want `sorts slice field CandidateAttrs of by-value Options parameter o in place`
+}
+
+// mutateDelete deletes from a map field. Finding.
+func mutateDelete(o Options, k string) {
+	delete(o.Weights, k) // want `deletes from map field Weights of by-value Options parameter o`
+}
+
+// mutateAppend appends to a slice field: with spare capacity this overwrites
+// the caller's elements. Finding.
+func mutateAppend(o Options) []string {
+	return append(o.CandidateAttrs, "extra") // want `appends to slice field CandidateAttrs of by-value Options parameter o`
+}
+
+// mutateNested reaches the shared store through a nested struct field.
+// Finding.
+func mutateNested(o Options) {
+	o.Nested.Attrs[0] = "" // want `writes through field Nested\.Attrs of by-value Options parameter o`
+}
+
+// mutateCopyInto copies into a slice field's backing array. Finding.
+func mutateCopyInto(o Options, src []string) {
+	copy(o.CandidateAttrs, src) // want `copies into slice field CandidateAttrs of by-value Options parameter o`
+}
+
+// freshCopy allocates before mutating: the caller's store is untouched.
+// Clean.
+func freshCopy(o Options) []string {
+	out := make([]string, len(o.CandidateAttrs))
+	copy(out, o.CandidateAttrs)
+	sort.Strings(out)
+	return out
+}
+
+// cappedAppend uses a full slice expression, so append cannot write into the
+// caller's spare capacity. Clean.
+func cappedAppend(o Options) []string {
+	return append(o.CandidateAttrs[:len(o.CandidateAttrs):len(o.CandidateAttrs)], "extra")
+}
+
+// pointerParam takes *Options: mutation through an explicit pointer is the
+// caller opting in. Clean.
+func pointerParam(o *Options) {
+	o.CandidateAttrs[0] = strings.ToLower(o.CandidateAttrs[0])
+}
+
+// scalarField assigns a plain value field of the local copy: invisible to the
+// caller. Clean.
+func scalarField(o Options) Options {
+	o.MaxBuckets = 8
+	return o
+}

@@ -1,0 +1,59 @@
+// Package snapshotguard fixtures the atomic-field discipline behind the
+// snapshot-swap concurrency model: sync/atomic-typed struct fields may only
+// be touched through their methods.
+package snapshotguard
+
+import "sync/atomic"
+
+type System struct {
+	Gen int
+}
+
+type Adaptive struct {
+	cur     atomic.Pointer[System]
+	learned atomic.Int64
+}
+
+// Snapshot loads through the method. Clean.
+func (a *Adaptive) Snapshot() *System {
+	return a.cur.Load()
+}
+
+// Publish stores through the method. Clean.
+func (a *Adaptive) Publish(s *System) {
+	a.cur.Store(s)
+	a.learned.Add(1)
+}
+
+// rebind assigns one atomic field to another: both the copy and the source
+// read bypass the methods. Two findings on one line.
+func rebind(a, b *Adaptive) {
+	a.cur = b.cur // want `atomic field cur used outside a method call`
+}
+
+// escape smuggles the field's address out, defeating the "methods only"
+// contract. Finding.
+func escape(a *Adaptive) *atomic.Int64 {
+	return &a.learned // want `atomic field learned used outside a method call`
+}
+
+// copyOut returns the atomic by value, forking the counter. Finding.
+func copyOut(a *Adaptive) int64 {
+	v := a.learned // want `atomic field learned used outside a method call`
+	return v.Load()
+}
+
+// seedLiteral initializes an atomic field from a copied value: the literal
+// key and the source read are each findings.
+func seedLiteral(b *Adaptive) *Adaptive {
+	return &Adaptive{cur: b.cur} // want `composite literal initializes atomic field cur by value` `atomic field cur used outside a method call`
+}
+
+// globalCounter is a package-level atomic, not a struct field: the snapshot
+// guard does not govern it. Clean.
+var globalCounter atomic.Int64
+
+func bump() int64 {
+	globalCounter.Add(1)
+	return globalCounter.Load()
+}

@@ -103,3 +103,23 @@ func NewPanicError(v any) *PanicError {
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic: %v", e.Value)
 }
+
+// Protect is the uniform recover() boundary for the serving path: it runs fn
+// and demotes a panic anywhere below it to a *PanicError, invoking onPanic
+// (may be nil) with the captured error first — the hook is where boundaries
+// bump their panic counters. catlint's recoverbound check holds the rest of
+// the tree to this helper: recover() appears in this package only, so every
+// boundary demotes panics the same way and is visible in the same counters.
+func Protect[T any](onPanic func(*PanicError), fn func() (T, error)) (val T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			perr := NewPanicError(p)
+			if onPanic != nil {
+				onPanic(perr)
+			}
+			var zero T
+			val, err = zero, perr
+		}
+	}()
+	return fn()
+}

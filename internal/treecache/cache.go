@@ -162,23 +162,29 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 	return c.wait(ctx, cl)
 }
 
-// protect runs compute behind the singleflight recover() boundary: a panic
-// anywhere below (the categorizer, an injected fault) becomes an error
-// delivered to all waiters instead of tearing down the process.
-func (c *Cache[V]) protect(cctx context.Context, compute func(context.Context) (V, int64, error)) (v V, size int64, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			var zero V
-			v, size, err = zero, 0, resilience.NewPanicError(p)
+// protect runs compute behind the singleflight resilience.Protect boundary:
+// a panic anywhere below (the categorizer, an injected fault) becomes an
+// error delivered to all waiters instead of tearing down the process.
+func (c *Cache[V]) protect(cctx context.Context, compute func(context.Context) (V, int64, error)) (V, int64, error) {
+	type sized struct {
+		val  V
+		size int64
+	}
+	out, err := resilience.Protect(
+		func(*resilience.PanicError) {
 			c.mu.Lock()
 			c.stats.Panics++
 			c.mu.Unlock()
-		}
-	}()
-	if err = faultinject.Inject(cctx, faultinject.SiteCacheCompute); err != nil {
-		return v, 0, err
-	}
-	return compute(cctx)
+		},
+		func() (sized, error) {
+			if err := faultinject.Inject(cctx, faultinject.SiteCacheCompute); err != nil {
+				return sized{}, err
+			}
+			v, size, err := compute(cctx)
+			return sized{v, size}, err
+		},
+	)
+	return out.val, out.size, err
 }
 
 // wait blocks until the call completes or ctx is canceled. Abandoning the

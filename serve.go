@@ -274,18 +274,15 @@ func (s *System) buildLadder(ctx context.Context, q *Query, rows []int, tech Tec
 	return category.FlatTree(s.rel, rows, opts), DegradeFlat, nil
 }
 
-// protectedBuild is buildTree behind a recover() boundary: a panic anywhere
-// in the categorizer becomes a *resilience.PanicError instead of tearing
-// down the process (the cached path has the same boundary inside the
-// singleflight, so panics are isolated with or without the cache).
-func (s *System) protectedBuild(ctx context.Context, q *Query, rows []int, tech Technique, opts Options) (tree *Tree, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			tree, err = nil, resilience.NewPanicError(p)
-			s.resil.panics.Add(1)
-		}
-	}()
-	return s.buildTree(ctx, q, rows, tech, opts)
+// protectedBuild is buildTree behind the resilience.Protect boundary: a
+// panic anywhere in the categorizer becomes a *resilience.PanicError instead
+// of tearing down the process (the cached path has the same boundary inside
+// the singleflight, so panics are isolated with or without the cache).
+func (s *System) protectedBuild(ctx context.Context, q *Query, rows []int, tech Technique, opts Options) (*Tree, error) {
+	return resilience.Protect(
+		func(*resilience.PanicError) { s.resil.panics.Add(1) },
+		func() (*Tree, error) { return s.buildTree(ctx, q, rows, tech, opts) },
+	)
 }
 
 // Serve is ServeParsed over a SQL string, additionally returning the result
@@ -342,11 +339,15 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 // option set contribute a fingerprint (conservative: options that default to
 // the same effective value key separately); the stats generation makes every
 // statistics snapshot its own key space, and the relation's data generation
-// keeps trees built before an Append from being served after it.
+// keeps trees built before an Append from being served after it. The float
+// options are spelled through relation.SigNum like every other cache-key
+// layer, so K=-0 and K=0 — or any pair of spellings FormatFloat would split —
+// cannot fork (or collide) key spaces.
 func (s *System) cacheKey(q *Query, tech Technique, opts Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%d|%g|%t|%t|%d|%d|%t|%t|%d|%d|%s",
-		tech, opts.M, opts.K, opts.X, opts.MaxBuckets, opts.MinBucket, opts.Frac,
+	fmt.Fprintf(h, "%d|%d|%s|%s|%d|%d|%s|%t|%t|%d|%d|%t|%t|%d|%d|%s",
+		tech, opts.M, relation.SigNum(opts.K), relation.SigNum(opts.X),
+		opts.MaxBuckets, opts.MinBucket, relation.SigNum(opts.Frac),
 		opts.AutoBuckets, opts.EquiDepth, opts.MaxZeroCandidates, opts.MaxLevels,
 		opts.Parallel, opts.CandidateAttrs != nil, opts.MaxCategories, opts.MinCondSupport,
 		strings.Join(opts.CandidateAttrs, "\x1f"))

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench check chaos report examples fuzz lint lint-selfcheck ci clean
+.PHONY: all build test race bench bench-all servebench selectbench shardbench check chaos report examples fuzz lint lint-selfcheck ci clean
 
 all: build test
 
@@ -92,6 +92,20 @@ selectbench:
 		  -o BENCH_select.json
 	@echo wrote BENCH_select.json
 
+# The shard-parallel numbers, recorded as BENCH_shard.json: the
+# BenchmarkCategorizeSharded shards=1,2,4,8 scaling curve plus a fresh
+# BenchmarkCategorize run, then `benchjson -diff` folds the ratios against
+# the recorded BENCH_categorize.json into the document's note — the shards=1
+# no-regression check (DESIGN.md §12).
+shardbench:
+	go test -run='^$$' -bench='^BenchmarkCategorize(Sharded)?$$' -benchmem -count=5 ./internal/category \
+		| tee shardbench_output.txt \
+		| go run ./cmd/benchjson \
+		  -note "shard-parallel categorization, rows=20000, shards=1,2,4,8 (DESIGN.md §12)" \
+		  -o BENCH_shard.json
+	go run ./cmd/benchjson -diff -o BENCH_shard.json BENCH_categorize.json BENCH_shard.json
+	@echo wrote BENCH_shard.json
+
 # The full formatted evaluation report at paper scale.
 report:
 	go run ./cmd/benchrunner -out experiments_report.txt -json experiments_report.json
@@ -112,5 +126,5 @@ fuzz:
 	go test ./internal/relation -fuzz=FuzzVectorizedSelect -fuzztime=30s
 
 clean:
-	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt shardbench_output.txt
 	rm -f catlint catlint.json lint_output.txt

@@ -33,6 +33,10 @@ step "race detector on the hot packages"
 go test -race ./internal/category ./internal/relation ./internal/sqlparse \
     ./internal/treecache ./internal/server ./internal/resilience/... .
 
+step "shard-parallel equivalence + concurrent append under race"
+go test -race -count=1 -run 'TestShard|TestConcurrentCategorizeAppend' \
+    ./internal/category ./internal/relation
+
 step "chaos smoke (fault-injection suite)"
 go test -race -count=1 -run 'TestChaos' ./internal/server
 

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=5 ./... | benchjson [-baseline old.txt] [-o out.json]
+//
+// A second mode compares two already-written JSON documents benchmark by
+// benchmark, printing per-benchmark speedup ratios (old mean ns / new mean
+// ns); with -o, the new document is rewritten with its note set to the diff
+// summary — the provenance line BENCH_shard.json carries:
+//
+//	benchjson -diff [-o new.json] old.json new.json
 package main
 
 import (
@@ -65,8 +72,17 @@ func main() {
 		baselinePath = flag.String("baseline", "", "bench text of the run to compare against")
 		outPath      = flag.String("o", "", "write JSON here instead of stdout")
 		note         = flag.String("note", "", "free-form annotation stored in the document")
+		diffMode     = flag.Bool("diff", false, "compare two JSON documents: benchjson -diff old.json new.json")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two arguments: old.json new.json"))
+		}
+		diff(flag.Arg(0), flag.Arg(1), *outPath)
+		return
+	}
 
 	cur, hdr := parse(os.Stdin)
 	doc := report{Note: *note, GoOS: hdr["goos"], GoArch: hdr["goarch"], CPU: hdr["cpu"], Pkg: hdr.packages()}
@@ -96,6 +112,63 @@ func main() {
 	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// diff loads two benchjson documents, prints per-benchmark speedup ratios
+// (oldDoc mean ns / newDoc mean ns, >1 = the new run is faster) for every
+// benchmark present in both, and — when outPath is set — rewrites the new
+// document with its note set to the one-line diff summary.
+func diff(oldPath, newPath, outPath string) {
+	oldDoc, err := loadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := loadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	var lines []string
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, r := range newDoc.Benchmarks {
+		b, ok := oldBy[r.Name]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := round2(b.NsPerOp / r.NsPerOp)
+		fmt.Printf("%-60s %14.0f %14.0f %7.2fx\n", r.Name, b.NsPerOp, r.NsPerOp, ratio)
+		lines = append(lines, fmt.Sprintf("%s %.2fx", r.Name, ratio))
+	}
+	if len(lines) == 0 {
+		fatal(fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath))
+	}
+	if outPath == "" {
+		return
+	}
+	newDoc.Note = fmt.Sprintf("speedup vs %s (old ns / new ns): %s", oldPath, strings.Join(lines, ", "))
+	out, err := json.MarshalIndent(newDoc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc report
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 // header collects the goos/goarch/pkg/cpu lines go test prints before the

@@ -55,6 +55,7 @@ func main() {
 
 		cacheEntries = flag.Int("cache-entries", 256, "tree cache entry bound for the -inproc cached server")
 		cacheMB      = flag.Int64("cache-mb", 64, "tree cache byte bound in MiB for the -inproc cached server")
+		shards       = flag.Int("shards", 0, "shard-parallel fan-out for the -inproc servers (0 = GOMAXPROCS, 1 = off)")
 
 		bench = flag.Bool("bench", false, "also print go-bench-format lines for cmd/benchjson")
 	)
@@ -85,6 +86,7 @@ func main() {
 		sys, err := repro.NewSystem(repro.DemoDataset(*rows, *seed), repro.Config{
 			WorkloadSQL:      repro.DemoWorkloadSQL(*queries, *seed+1),
 			Intervals:        repro.DemoIntervals(),
+			Shards:           *shards,
 			TreeCacheEntries: entries,
 			TreeCacheBytes:   bytes,
 		})

@@ -41,6 +41,7 @@ func main() {
 		wlPath  = flag.String("workload", "", "load the workload from this SQL log instead of generating")
 		corr    = flag.Bool("correlations", false, "enable the path-conditional probability model")
 		learn   = flag.Bool("learn", false, "fold every served query into the workload statistics")
+		shards  = flag.Int("shards", 0, "shard-parallel fan-out per categorization build (0 = GOMAXPROCS, 1 = off)")
 
 		cacheEntries = flag.Int("cache-entries", 256, "tree cache entry bound (0 with -cache-mb 0 disables caching)")
 		cacheMB      = flag.Int64("cache-mb", 64, "tree cache byte bound in MiB")
@@ -72,6 +73,7 @@ func main() {
 	cfg := repro.Config{
 		Intervals:        repro.DemoIntervals(),
 		Correlations:     *corr,
+		Shards:           *shards,
 		TreeCacheEntries: *cacheEntries,
 		TreeCacheBytes:   *cacheMB << 20,
 	}

@@ -72,6 +72,13 @@ type Options struct {
 	// estimates; below it the paper's independence assumption is used.
 	// Default 8. Only meaningful when the Categorizer has a CondIndex.
 	MinCondSupport int
+	// Shards is the shard-parallel fan-out for per-node partition work
+	// (shard.go): nodes with at least shardMinTset tuples are counted and
+	// filled by this many concurrent span workers, and large numeric sorts
+	// go through the chunked merge. The resulting tree is byte-identical to
+	// the unsharded build at every shard count. 0 means one shard per
+	// available CPU (resolved at categorization time); 1 disables sharding.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -117,10 +124,13 @@ type Categorizer struct {
 	// conditional sample is smaller than Opts.MinCondSupport.
 	Corr *workload.CondIndex
 	// Ctx, when non-nil, lets a serving layer abandon a categorization
-	// mid-build: the level loop and the candidate fan-out poll it and
-	// return ctx's error instead of completing the tree. Trees are never
-	// returned partially built.
+	// mid-build: the level loop, the candidate fan-out, and the shard
+	// workers poll it and return ctx's error instead of completing the
+	// tree. Trees are never returned partially built.
 	Ctx context.Context
+	// Counters, when non-nil, accumulates shard-parallel telemetry across
+	// builds (healthz's "sharding" block). Shared by pointer; nil is fine.
+	Counters *ShardCounters
 }
 
 // NewCategorizer returns a Categorizer over the given workload statistics
@@ -158,7 +168,10 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 	if err := faultinject.Inject(ctx, faultinject.SiteCategorizeStart); err != nil {
 		return nil, fmt.Errorf("category: categorization abandoned: %w", err)
 	}
-	lc := &levelContext{r: r, q: q, stats: c.Stats, est: est, opts: opts, corr: c.Corr, ctx: ctx}
+	lc := &levelContext{
+		r: r, q: q, stats: c.Stats, est: est, opts: opts, corr: c.Corr, ctx: ctx,
+		shards: EffectiveShards(opts.Shards), counters: c.Counters,
+	}
 
 	candidates := opts.CandidateAttrs
 	if candidates == nil {

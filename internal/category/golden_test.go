@@ -55,6 +55,13 @@ func flattenTree(name string, tree *Tree) goldenTree {
 
 // goldenScenarios builds every pinned tree. All inputs are deterministic.
 func goldenScenarios(t *testing.T) []goldenTree {
+	return goldenScenariosWith(t, func(o Options) Options { return o })
+}
+
+// goldenScenariosWith builds the pinned scenarios with each scenario's
+// options passed through mod — the shard-equivalence tests rebuild the whole
+// set under different Options.Shards and require byte-identical trees.
+func goldenScenariosWith(t *testing.T, mod func(Options) Options) []goldenTree {
 	t.Helper()
 	stats := testStats(t)
 	r := testRelation(600)
@@ -71,16 +78,16 @@ func goldenScenarios(t *testing.T) []goldenTree {
 
 	var out []goldenTree
 
-	tree, err := NewCategorizer(stats, Options{M: 20, X: 0.1}).Categorize(r, nil)
+	tree, err := NewCategorizer(stats, mod(Options{M: 20, X: 0.1})).Categorize(r, nil)
 	out = append(out, mustTree("costbased-seq", tree, err))
 
-	tree, err = NewCategorizer(stats, Options{M: 20, X: 0.1, Parallel: true}).Categorize(r, nil)
+	tree, err = NewCategorizer(stats, mod(Options{M: 20, X: 0.1, Parallel: true})).Categorize(r, nil)
 	out = append(out, mustTree("costbased-parallel", tree, err))
 
-	tree, err = NewCategorizer(stats, Options{M: 10, X: 0.1, MaxCategories: 3}).Categorize(r, nil)
+	tree, err = NewCategorizer(stats, mod(Options{M: 10, X: 0.1, MaxCategories: 3})).Categorize(r, nil)
 	out = append(out, mustTree("costbased-maxcat", tree, err))
 
-	tree, err = NewCategorizer(stats, Options{M: 12, X: 0.1, AutoBuckets: true, MaxBuckets: 4}).Categorize(r, nil)
+	tree, err = NewCategorizer(stats, mod(Options{M: 12, X: 0.1, AutoBuckets: true, MaxBuckets: 4})).Categorize(r, nil)
 	out = append(out, mustTree("costbased-autobuckets", tree, err))
 
 	q, err := sqlparse.Parse("SELECT * FROM ListProperty WHERE neighborhood IN " +
@@ -89,24 +96,24 @@ func goldenScenarios(t *testing.T) []goldenTree {
 		t.Fatalf("parse query: %v", err)
 	}
 	rows := r.Select(q.Predicate())
-	tree, err = NewCategorizer(stats, Options{M: 15, X: 0.1}).CategorizeRows(r, q, rows)
+	tree, err = NewCategorizer(stats, mod(Options{M: 15, X: 0.1})).CategorizeRows(r, q, rows)
 	out = append(out, mustTree("costbased-query", tree, err))
 
 	tree, err = (&Baseline{Stats: stats, Kind: AttrCost,
-		Opts: Options{M: 20, CandidateAttrs: attrs}}).Categorize(r, nil)
+		Opts: mod(Options{M: 20, CandidateAttrs: attrs})}).Categorize(r, nil)
 	out = append(out, mustTree("attrcost", tree, err))
 
 	tree, err = (&Baseline{Stats: stats, Kind: AttrCost,
-		Opts: Options{M: 20, CandidateAttrs: attrs, EquiDepth: true}}).Categorize(r, nil)
+		Opts: mod(Options{M: 20, CandidateAttrs: attrs, EquiDepth: true})}).Categorize(r, nil)
 	out = append(out, mustTree("attrcost-equidepth", tree, err))
 
 	tree, err = (&Baseline{Stats: stats, Kind: NoCost,
-		Opts: Options{M: 20, CandidateAttrs: attrs}}).Categorize(r, nil)
+		Opts: mod(Options{M: 20, CandidateAttrs: attrs})}).Categorize(r, nil)
 	out = append(out, mustTree("nocost", tree, err))
 
 	corrStats, corrIdx := corrWorkload(t)
 	tree, err = (&Categorizer{Stats: corrStats, Corr: corrIdx,
-		Opts: Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 5}}).Categorize(corrRelation(), nil)
+		Opts: mod(Options{M: 10, X: 0.1, MaxBuckets: 2, MinBucket: 1, MinCondSupport: 5})}).Categorize(corrRelation(), nil)
 	out = append(out, mustTree("costbased-corr", tree, err))
 
 	return out

@@ -69,3 +69,47 @@ func pollingWorker(ctx context.Context) {
 }
 
 func silentWorker() { select {} }
+
+// shardCountNoPoll mirrors the shard-parallel partition fan-out
+// (shardedPartitionNode) with the cancellation poll forgotten: each span
+// worker is a finding.
+func shardCountNoPoll(spans [][2]int, codes []uint32, card int) [][]int32 {
+	counts := make([][]int32, len(spans))
+	var wg sync.WaitGroup
+	for j, sp := range spans {
+		wg.Add(1)
+		go func() { // want `goroutine never polls cancellation`
+			defer wg.Done()
+			cnt := make([]int32, card)
+			for _, c := range codes[sp[0]:sp[1]] {
+				cnt[c]++
+			}
+			counts[j] = cnt
+		}()
+	}
+	wg.Wait()
+	return counts
+}
+
+// shardCountPolling is the correct shape: every span worker checks the
+// approved helper before touching its span. Clean.
+func shardCountPolling(ctx context.Context, spans [][2]int, codes []uint32, card int) [][]int32 {
+	counts := make([][]int32, len(spans))
+	var wg sync.WaitGroup
+	for j, sp := range spans {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ctxExpired(ctx) != nil {
+				return
+			}
+			cnt := make([]int32, card)
+			for _, c := range codes[sp[0]:sp[1]] {
+				cnt[c]++
+			}
+			counts[j] = cnt
+		}()
+	}
+	wg.Wait()
+	return counts
+}

@@ -70,7 +70,7 @@ func BenchmarkCatCandidates(b *testing.B) {
 	p := NewIn("neighborhood", "Bellevue, WA", "Redmond, WA", "Seattle, WA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		list, ok := r.catCandidates(p)
+		list, ok := r.indexes().catCandidates(p)
 		if !ok || len(list) == 0 {
 			b.Fatal("no candidates")
 		}

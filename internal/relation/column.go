@@ -66,7 +66,7 @@ func (r *Relation) identityRows() []int {
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
 	if r.cols.identity == nil {
-		id := make([]int, len(r.rows))
+		id := make([]int, r.Len())
 		for i := range id {
 			id[i] = i
 		}
@@ -95,7 +95,9 @@ type numSorted struct {
 // produces over tset with a plain `<` comparator — the categorizer's
 // historical per-node sort — but runs over packed (value, row) pairs, so no
 // comparison gathers through the column. Ties therefore land in the same
-// (deterministic) order as before the columnar rewrite.
+// (deterministic) order as before the columnar rewrite, and — because the
+// numeric path is never sharded (DESIGN.md §12) — that order is identical
+// at every Options.Shards setting.
 func SortByValue(col []float64, tset []int) (rows []int, vals []float64) {
 	pairs := pairsFor(len(tset))
 	for k, i := range tset {
@@ -136,6 +138,9 @@ func sortValRows(pairs []valRow) {
 	// reflection; with this comparator its comparison outcomes — and hence
 	// the final permutation, ties included — match the historical
 	// sort.Slice(idx, func(a,b) { col[idx[a]] < col[idx[b]] }) exactly.
+	// Do NOT break ties (e.g. on row id) to make the order total: a
+	// tie-aware comparator defeats pdqsort's equal-element partitioning
+	// and costs >2x on the low-cardinality columns the categorizer loves.
 	slices.SortFunc(pairs, func(a, b valRow) int {
 		switch {
 		case a.v < b.v:
@@ -230,8 +235,9 @@ func (r *Relation) NumColumn(attr string) ([]float64, error) {
 	if c, ok := r.cols.num[key]; ok {
 		return c, nil
 	}
-	c := make([]float64, len(r.rows))
-	for i, row := range r.rows {
+	rows := r.snapshot()
+	c := make([]float64, len(rows))
+	for i, row := range rows {
 		c[i] = row[pos].Num
 	}
 	if r.cols.num == nil {
@@ -271,9 +277,10 @@ func (r *Relation) BuildColumns(attrs ...string) error {
 
 // buildCatColumn dictionary-encodes column pos. Called with cols.mu held.
 func (r *Relation) buildCatColumn(pos int) *CatColumn {
+	rows := r.snapshot()
 	codeOf := make(map[string]uint32, 64)
 	var dict []string
-	for _, row := range r.rows {
+	for _, row := range rows {
 		v := row[pos].Str
 		if _, ok := codeOf[v]; !ok {
 			codeOf[v] = 0
@@ -284,8 +291,8 @@ func (r *Relation) buildCatColumn(pos int) *CatColumn {
 	for i, v := range dict {
 		codeOf[v] = uint32(i)
 	}
-	codes := make([]uint32, len(r.rows))
-	for i, row := range r.rows {
+	codes := make([]uint32, len(rows))
+	for i, row := range rows {
 		codes[i] = codeOf[row[pos].Str]
 	}
 	return &CatColumn{Codes: codes, Dict: dict}

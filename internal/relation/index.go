@@ -23,6 +23,19 @@ type numIndex struct {
 	hasNaN bool
 }
 
+// indexSet is the immutable bundle of secondary indexes published behind
+// Relation.idx. Readers load the whole set once per operation and never
+// observe a half-built or half-dropped state; BuildIndex assembles a fresh
+// set privately and publishes it with a single atomic store.
+type indexSet struct {
+	cat map[string]catIndex
+	num map[string]*numIndex
+}
+
+// indexes returns the current published index set, or nil when the relation
+// is not indexed (never built, or dropped by a mutation).
+func (r *Relation) indexes() *indexSet { return r.idx.Load() }
+
 // BuildIndex builds secondary indexes on the named attributes (all
 // attributes when none are given), and materializes the columnar
 // projections (column.go) for the same attributes so the categorizer's hot
@@ -38,11 +51,19 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 			attrs[i] = r.schema.Attr(i).Name
 		}
 	}
-	if r.catIdx == nil {
-		r.catIdx = make(map[string]catIndex)
-	}
-	if r.numIdx == nil {
-		r.numIdx = make(map[string]*numIndex)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := r.snapshot()
+	// Copy-on-write: extend a private clone of the current set, then publish
+	// the whole successor. Concurrent readers keep whichever set they loaded.
+	next := &indexSet{cat: make(map[string]catIndex), num: make(map[string]*numIndex)}
+	if cur := r.indexes(); cur != nil {
+		for k, v := range cur.cat {
+			next.cat[k] = v
+		}
+		for k, v := range cur.num {
+			next.num[k] = v
+		}
 	}
 	for _, attr := range attrs {
 		pos, ok := r.schema.Lookup(attr)
@@ -52,63 +73,73 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 		key := r.schema.Attr(pos).Name
 		if r.schema.Attr(pos).Type == Categorical {
 			idx := make(catIndex)
-			for i, row := range r.rows {
+			for i, row := range rows {
 				v := row[pos].Str
 				idx[v] = append(idx[v], i)
 			}
-			r.catIdx[lower(key)] = idx
+			next.cat[lower(key)] = idx
 			continue
 		}
-		idx := &numIndex{vals: make([]float64, len(r.rows)), rows: make([]int, len(r.rows))}
-		order := make([]int, len(r.rows))
+		idx := &numIndex{vals: make([]float64, len(rows)), rows: make([]int, len(rows))}
+		order := make([]int, len(rows))
 		for i := range order {
 			order[i] = i
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			return r.rows[order[a]][pos].Num < r.rows[order[b]][pos].Num
+			return rows[order[a]][pos].Num < rows[order[b]][pos].Num
 		})
 		for k, i := range order {
-			v := r.rows[i][pos].Num
+			v := rows[i][pos].Num
 			idx.vals[k] = v
 			idx.rows[k] = i
 			if v != v {
 				idx.hasNaN = true
 			}
 		}
-		r.numIdx[lower(key)] = idx
+		next.num[lower(key)] = idx
 	}
+	r.idx.Store(next)
 	return nil
 }
 
 // Indexed reports whether the attribute currently has a secondary index.
 func (r *Relation) Indexed(attr string) bool {
+	idx := r.indexes()
+	if idx == nil {
+		return false
+	}
 	key := lower(attr)
-	if _, ok := r.catIdx[key]; ok {
+	if _, ok := idx.cat[key]; ok {
 		return true
 	}
-	_, ok := r.numIdx[key]
+	_, ok := idx.num[key]
 	return ok
 }
 
-// dropIndexes invalidates all secondary indexes (rows changed).
+// dropIndexes invalidates all secondary indexes (rows changed). Called with
+// r.mu held by the mutating writer.
 func (r *Relation) dropIndexes() {
-	r.catIdx = nil
-	r.numIdx = nil
+	r.idx.Store(nil)
 }
 
 // candidates returns a sorted row-id list guaranteed to contain every row
 // matching pred, using an index on one of pred's conjuncts, or ok=false
-// when no indexed conjunct applies.
+// when no indexed conjunct applies. The index set is loaded once so every
+// conjunct is answered against the same snapshot.
 func (r *Relation) candidates(pred Predicate) (list []int, ok bool) {
+	set := r.indexes()
+	if set == nil {
+		return nil, false
+	}
 	best, bestLen := []int(nil), -1
 	consider := func(p Predicate) {
 		var l []int
 		var usable bool
 		switch q := p.(type) {
 		case *In:
-			l, usable = r.catCandidates(q)
+			l, usable = set.catCandidates(q)
 		case *Range:
-			l, usable = r.numCandidates(q)
+			l, usable = set.numCandidates(q)
 		}
 		if usable && (bestLen == -1 || len(l) < bestLen) {
 			best, bestLen = l, len(l)
@@ -128,8 +159,8 @@ func (r *Relation) candidates(pred Predicate) (list []int, ok bool) {
 	return best, true
 }
 
-func (r *Relation) catCandidates(p *In) ([]int, bool) {
-	idx, ok := r.catIdx[lower(p.Attr)]
+func (set *indexSet) catCandidates(p *In) ([]int, bool) {
+	idx, ok := set.cat[lower(p.Attr)]
 	if !ok {
 		return nil, false
 	}
@@ -191,8 +222,8 @@ func merge2(a, b []int) []int {
 	return out
 }
 
-func (r *Relation) numCandidates(p *Range) ([]int, bool) {
-	idx, ok := r.numIdx[lower(p.Attr)]
+func (set *indexSet) numCandidates(p *Range) ([]int, bool) {
+	idx, ok := set.num[lower(p.Attr)]
 	if !ok {
 		return nil, false
 	}

@@ -57,9 +57,10 @@ func Join(fact *Relation, factKey string, dim *Relation, dimKey string) (*Relati
 	}
 
 	// Build the dimension hash table.
-	dimByKey := make(map[Value]int, dim.Len())
-	for i := 0; i < dim.Len(); i++ {
-		key := dim.rows[i][dPos]
+	dimRows := dim.snapshot()
+	dimByKey := make(map[Value]int, len(dimRows))
+	for i, row := range dimRows {
+		key := row[dPos]
 		if _, dup := dimByKey[key]; dup {
 			return nil, fmt.Errorf("relation: dimension %s has duplicate key %v", dim.Name, key)
 		}
@@ -67,16 +68,17 @@ func Join(fact *Relation, factKey string, dim *Relation, dimKey string) (*Relati
 	}
 
 	out := New(fact.Name+"_"+dim.Name, schema)
-	out.Grow(fact.Len())
-	for i := 0; i < fact.Len(); i++ {
-		dRow, ok := dimByKey[fact.rows[i][fPos]]
+	factRows := fact.snapshot()
+	out.Grow(len(factRows))
+	for _, fRow := range factRows {
+		dRow, ok := dimByKey[fRow[fPos]]
 		if !ok {
 			continue // inner join: unmatched fact rows are dropped
 		}
 		tuple := make(Tuple, 0, schema.Len())
-		tuple = append(tuple, fact.rows[i]...)
+		tuple = append(tuple, fRow...)
 		for _, c := range dimCols {
-			tuple = append(tuple, dim.rows[dRow][c])
+			tuple = append(tuple, dimRows[dRow][c])
 		}
 		out.MustAppend(tuple)
 	}
@@ -104,11 +106,12 @@ func Project(r *Relation, cols ...string) (*Relation, error) {
 		return nil, fmt.Errorf("relation: projected schema: %w", err)
 	}
 	out := New(r.Name, schema)
-	out.Grow(r.Len())
-	for i := 0; i < r.Len(); i++ {
+	rows := r.snapshot()
+	out.Grow(len(rows))
+	for _, row := range rows {
 		tuple := make(Tuple, len(pos))
 		for j, p := range pos {
-			tuple[j] = r.rows[i][p]
+			tuple[j] = row[p]
 		}
 		out.MustAppend(tuple)
 	}

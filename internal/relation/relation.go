@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -130,14 +131,26 @@ type Tuple []Value
 // Relation is an in-memory table: a schema plus rows. Rows are stored by
 // value; tuple identity within a relation is the row index, which the
 // categorizer uses to keep tuple-sets as index slices.
+//
+// Concurrency: readers never block. The row store is published RCU-style —
+// an immutable slice header behind an atomic pointer that every read
+// operation loads once — and writers (Append, Grow, BuildIndex) serialize on
+// an internal mutex, mutate a private copy or the spare capacity beyond the
+// published length, and publish with one atomic store. Readers racing a
+// writer keep whichever snapshot they loaded; row indices obtained from an
+// older snapshot stay valid against newer ones because rows are only ever
+// appended.
 type Relation struct {
 	Name   string
 	schema *Schema
-	rows   []Tuple
 
-	// Secondary indexes (see index.go); nil maps mean "not indexed".
-	catIdx map[string]catIndex
-	numIdx map[string]*numIndex
+	// mu serializes writers; readers go through rows.Load() only.
+	mu   sync.Mutex
+	rows atomic.Pointer[[]Tuple]
+
+	// Secondary indexes (see index.go), published as one immutable set
+	// behind an atomic pointer; nil means "not indexed".
+	idx atomic.Pointer[indexSet]
 
 	// Cached columnar projections (see column.go); invalidated on Append.
 	cols columnCache
@@ -160,23 +173,39 @@ func New(name string, schema *Schema) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
+// snapshot returns the current immutable row slice. One load per read
+// operation: a reader works against a consistent row set even while a
+// writer publishes a successor.
+func (r *Relation) snapshot() []Tuple {
+	if p := r.rows.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Len returns the number of rows.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return len(r.snapshot()) }
 
 // Row returns the i-th tuple. The returned slice must not be modified.
-func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+func (r *Relation) Row(i int) Tuple { return r.snapshot()[i] }
 
 // Append adds a row. It returns an error if the tuple width does not match
-// the schema.
+// the schema. Append is safe to call concurrently with readers (Select,
+// Categorize, the column builders): the new row lands in spare capacity
+// beyond the published length — invisible to holders of the old snapshot —
+// and then a new slice header is published atomically.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != r.schema.Len() {
 		return fmt.Errorf("relation %s: tuple has %d cells, schema has %d", r.Name, len(t), r.schema.Len())
 	}
-	r.rows = append(r.rows, t)
+	r.mu.Lock()
+	rows := append(r.snapshot(), t)
+	r.rows.Store(&rows)
 	r.dataGen.Add(1)
 	r.dropIndexes() // stale after mutation; rebuild with BuildIndex
 	r.dropColumns()
 	r.dropConjuncts()
+	r.mu.Unlock()
 	return nil
 }
 
@@ -190,11 +219,14 @@ func (r *Relation) MustAppend(t Tuple) {
 
 // Grow pre-allocates capacity for n additional rows.
 func (r *Relation) Grow(n int) {
-	if need := len(r.rows) + n; need > cap(r.rows) {
-		rows := make([]Tuple, len(r.rows), need)
-		copy(rows, r.rows)
-		r.rows = rows
+	r.mu.Lock()
+	rows := r.snapshot()
+	if need := len(rows) + n; need > cap(rows) {
+		grown := make([]Tuple, len(rows), need)
+		copy(grown, rows)
+		r.rows.Store(&grown)
 	}
+	r.mu.Unlock()
 }
 
 // Select returns the indices of all rows satisfying pred, in row order.
@@ -225,17 +257,18 @@ func (r *Relation) Select(pred Predicate) []int {
 // one of the predicate's conjuncts, the scan is restricted to the index's
 // candidates; otherwise every tuple is tested through Predicate.Matches.
 func (r *Relation) scanSelect(pred Predicate) []int {
+	rows := r.snapshot()
 	if cands, ok := r.candidates(pred); ok {
 		out := make([]int, 0, len(cands))
 		for _, i := range cands {
-			if pred.Matches(r.schema, r.rows[i]) {
+			if pred.Matches(r.schema, rows[i]) {
 				out = append(out, i)
 			}
 		}
 		return out
 	}
-	out := make([]int, 0, len(r.rows)/4+1)
-	for i, t := range r.rows {
+	out := make([]int, 0, len(rows)/4+1)
+	for i, t := range rows {
 		if pred.Matches(r.schema, t) {
 			out = append(out, i)
 		}
@@ -277,9 +310,10 @@ func (r *Relation) DistinctStrings(attr string, idx []int) ([]string, error) {
 		}
 		return out, nil
 	}
+	rows := r.snapshot()
 	seen := make(map[string]struct{})
 	for _, i := range idx {
-		seen[r.rows[i][pos].Str] = struct{}{}
+		seen[rows[i][pos].Str] = struct{}{}
 	}
 	out := make([]string, 0, len(seen))
 	for v := range seen {
@@ -296,10 +330,11 @@ func (r *Relation) NumRange(attr string, idx []int) (lo, hi float64, ok bool) {
 	if !found || r.schema.Attr(pos).Type != Numeric || len(idx) == 0 {
 		return 0, 0, false
 	}
-	lo = r.rows[idx[0]][pos].Num
+	rows := r.snapshot()
+	lo = rows[idx[0]][pos].Num
 	hi = lo
 	for _, i := range idx[1:] {
-		v := r.rows[i][pos].Num
+		v := rows[i][pos].Num
 		if v < lo {
 			lo = v
 		}

@@ -296,7 +296,7 @@ func (r *Relation) buildInBitmap(p *In) *Bitmap {
 	col, err := r.CatColumn(p.Attr)
 	if err != nil {
 		// Unreachable: the caller validated the attribute.
-		return NewBitmap(len(r.rows))
+		return NewBitmap(r.Len())
 	}
 	bm := NewBitmap(len(col.Codes))
 	if len(p.Values) == 0 {
@@ -335,7 +335,11 @@ func (r *Relation) buildInBitmap(p *In) *Bitmap {
 // []float64 column replicates Range.Matches' comparisons exactly (NaN
 // values and NaN bounds included).
 func (r *Relation) buildRangeBitmap(p *Range) *Bitmap {
-	if idx, ok := r.numIdx[lower(p.Attr)]; ok && !idx.hasNaN &&
+	var idx *numIndex
+	if set := r.indexes(); set != nil {
+		idx = set.num[lower(p.Attr)]
+	}
+	if idx != nil && !idx.hasNaN &&
 		!math.IsNaN(p.Lo) && !math.IsNaN(p.Hi) {
 		lo := sort.SearchFloat64s(idx.vals, p.Lo)
 		var hi int
@@ -358,7 +362,7 @@ func (r *Relation) buildRangeBitmap(p *Range) *Bitmap {
 	col, err := r.NumColumn(p.Attr)
 	if err != nil {
 		// Unreachable: the caller validated the attribute.
-		return NewBitmap(len(r.rows))
+		return NewBitmap(r.Len())
 	}
 	bm := NewBitmap(len(col))
 	pLo, pHi, hiInc := p.Lo, p.Hi, p.HiInc

@@ -236,6 +236,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// counts, cumulative Select wall time, and the conjunct-bitmap cache's
 	// hits/misses/occupancy.
 	body["select"] = sys.SelectStats()
+	// Shard-parallel build counters (DESIGN.md §12), plus GOMAXPROCS and the
+	// active shard count so capacity debugging needs no flag archaeology.
+	body["sharding"] = sys.ShardingStats()
 	// Resilience counters (DESIGN.md §10): admission queue/shed, degradation
 	// ladder activations, recovered panics, drain state.
 	res := map[string]any{

@@ -111,6 +111,17 @@ type SelectStats = relation.SelectStats
 // reports the same counters.
 func (s *System) SelectStats() SelectStats { return s.rel.SelectStats() }
 
+// ShardingStats is a point-in-time snapshot of the shard-parallel build
+// counters plus the effective shard configuration (DESIGN.md §12).
+type ShardingStats = category.ShardingStats
+
+// ShardingStats returns the shard-parallel build counters and the active
+// shard count (surfaced in /healthz). For an AdaptiveSystem the counters are
+// shared across snapshots.
+func (s *System) ShardingStats() ShardingStats {
+	return s.shardc.Snapshot(s.opts.Shards)
+}
+
 // Generation returns the workload-stats generation this system serves. A
 // system built by NewSystem is generation 0; AdaptiveSystem publishes
 // snapshots with increasing generations.
@@ -301,12 +312,18 @@ func (s *System) Serve(ctx context.Context, sql string, tech Technique, opts Opt
 
 // buildTree runs one categorization with the chosen technique — the single
 // construction point behind Result.CategorizeWith and the serving path.
+// A zero opts.Shards inherits the system default (catserve -shards), so
+// per-request option sets that never mention sharding still fan out.
 func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Technique, opts Options) (*Tree, error) {
+	if opts.Shards == 0 {
+		opts.Shards = s.opts.Shards
+	}
 	switch tech {
 	case CostBased:
 		c := category.NewCategorizer(s.stats, opts)
 		c.Corr = s.corr
 		c.Ctx = ctx
+		c.Counters = s.shardc
 		return c.CategorizeRows(s.rel, q, rows)
 		// Cost-based trees carry their (possibly path-conditional)
 		// probabilities from construction; no re-annotation.
@@ -317,7 +334,7 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 		if err := faultinject.Inject(ctx, faultinject.SiteBaseline); err != nil {
 			return nil, err
 		}
-		b := &category.Baseline{Stats: s.stats, Opts: opts, Kind: tech}
+		b := &category.Baseline{Stats: s.stats, Opts: opts, Kind: tech, Counters: s.shardc}
 		tree, err := b.CategorizeRows(s.rel, q, rows)
 		if err != nil {
 			return nil, err
@@ -342,7 +359,9 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 // keeps trees built before an Append from being served after it. The float
 // options are spelled through relation.SigNum like every other cache-key
 // layer, so K=-0 and K=0 — or any pair of spellings FormatFloat would split —
-// cannot fork (or collide) key spaces.
+// cannot fork (or collide) key spaces. Options.Shards is deliberately
+// excluded: the built tree is byte-identical at every shard count (§12), so
+// keying on it would only fork the cache into redundant copies.
 func (s *System) cacheKey(q *Query, tech Technique, opts Options) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%s|%s|%d|%d|%s|%t|%t|%d|%d|%t|%t|%d|%d|%s",

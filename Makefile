@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench shardbench check chaos report examples fuzz lint lint-selfcheck ci clean
+.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench check chaos report examples fuzz lint lint-selfcheck ci clean
 
 all: build test
 
@@ -106,6 +106,19 @@ shardbench:
 	go run ./cmd/benchjson -diff -o BENCH_shard.json BENCH_categorize.json BENCH_shard.json
 	@echo wrote BENCH_shard.json
 
+# The learning-churn numbers, recorded as BENCH_warm.json: cmd/catload's
+# 3-phase warmbench (baseline, learn storm without warming, learn storm with
+# the pre-warmer) at paper scale — p50/p95 serve latency, hit counts, and
+# the repaired-vs-rebuilt tree and node counters behind them (DESIGN.md §13).
+warmbench:
+	go run ./cmd/catload -warmbench -bench -rows 20000 -queries 10000 \
+		-n 600 -mix 16 -learn-every 25 -warm-topk 16 \
+		| tee warmbench_output.txt \
+		| go run ./cmd/benchjson \
+		  -note "incremental tree repair + predictive pre-warming under a learn storm (DESIGN.md §13), rows=20000, learn-every=25" \
+		  -o BENCH_warm.json
+	@echo wrote BENCH_warm.json
+
 # The full formatted evaluation report at paper scale.
 report:
 	go run ./cmd/benchrunner -out experiments_report.txt -json experiments_report.json
@@ -126,5 +139,5 @@ fuzz:
 	go test ./internal/relation -fuzz=FuzzVectorizedSelect -fuzztime=30s
 
 clean:
-	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt shardbench_output.txt
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt shardbench_output.txt warmbench_output.txt
 	rm -f catlint catlint.json lint_output.txt

@@ -30,6 +30,11 @@ type AdaptiveSystem struct {
 	cur     atomic.Pointer[System]
 	// learned counts queries folded in since construction.
 	learned atomic.Int64
+	// warm is the running predictive pre-warmer, nil when warming is off.
+	// Always read through the atomic pointer (StartWarmer/StopWarmer swap
+	// it); warmer code itself must go through System()/Snapshot for the
+	// current snapshot, never through cur directly.
+	warm atomic.Pointer[Warmer]
 }
 
 // Adaptive wraps the system for online learning. The system must have been
@@ -132,15 +137,16 @@ func (a *AdaptiveSystem) learn(qs ...*sqlparse.Query) {
 	defer a.learnMu.Unlock()
 	old := a.cur.Load()
 	next := &System{
-		rel:    old.rel,
-		stats:  old.stats.Clone(),
-		opts:   old.opts,
-		wl:     old.wl.Clone(),
-		wcfg:   old.wcfg,
-		cache:  old.cache,
-		gen:    old.gen + 1,
-		resil:  old.resil,
-		shardc: old.shardc,
+		rel:     old.rel,
+		stats:   old.stats.Clone(),
+		opts:    old.opts,
+		wl:      old.wl.Clone(),
+		wcfg:    old.wcfg,
+		cache:   old.cache,
+		gen:     old.gen + 1,
+		resil:   old.resil,
+		shardc:  old.shardc,
+		repairc: old.repairc,
 	}
 	if old.corr != nil {
 		next.corr = old.corr.Clone()
@@ -154,6 +160,10 @@ func (a *AdaptiveSystem) learn(qs ...*sqlparse.Query) {
 	}
 	a.cur.Store(next)
 	a.learned.Add(int64(len(qs)))
+	if w := a.warm.Load(); w != nil {
+		// After the publish, so the warmer's cycle sees the new snapshot.
+		w.observe(qs)
+	}
 }
 
 // Learned reports how many queries have been folded in since construction.

@@ -190,6 +190,9 @@ type System struct {
 	// shardc counts shard-parallel build activity (§12); shared across an
 	// AdaptiveSystem's snapshots like resil, fresh per Personalize.
 	shardc *category.ShardCounters
+	// repairc counts stale-tree revalidation outcomes (§13); shared across an
+	// AdaptiveSystem's snapshots like resil, fresh per Personalize.
+	repairc *repairCounters
 }
 
 // NewSystem builds a System over rel, mining the configured workload into
@@ -212,6 +215,7 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 	}
 	resil := &resilienceCounters{}
 	shardc := &category.ShardCounters{}
+	repairc := &repairCounters{}
 	if cfg.Options.Shards == 0 {
 		// System-level default flows into every build that doesn't pick its
 		// own shard count (catserve -shards reaches per-request builds here).
@@ -246,12 +250,12 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 		if cfg.Correlations {
 			corr = workload.NewCondIndex(w, wcfg)
 		}
-		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache, resil: resil, shardc: shardc}, nil
+		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache, resil: resil, shardc: shardc, repairc: repairc}, nil
 	}
 	if cfg.Correlations {
 		return nil, fmt.Errorf("repro: Correlations requires the raw workload (WorkloadSQL or WorkloadReader), not precomputed Stats")
 	}
-	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache, resil: resil, shardc: shardc}, nil
+	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache, resil: resil, shardc: shardc, repairc: repairc}, nil
 }
 
 // Personalize returns a new System whose workload statistics blend this
@@ -271,13 +275,14 @@ func (s *System) Personalize(history []string, weight int) (*System, error) {
 	}
 	merged := workload.Merge(s.wl, personal, weight)
 	out := &System{
-		rel:    s.rel,
-		stats:  workload.Preprocess(merged, s.wcfg),
-		opts:   s.opts,
-		wl:     merged,
-		wcfg:   s.wcfg,
-		resil:  &resilienceCounters{},
-		shardc: &category.ShardCounters{},
+		rel:     s.rel,
+		stats:   workload.Preprocess(merged, s.wcfg),
+		opts:    s.opts,
+		wl:      merged,
+		wcfg:    s.wcfg,
+		resil:   &resilienceCounters{},
+		shardc:  &category.ShardCounters{},
+		repairc: &repairCounters{},
 	}
 	if s.cache.Enabled() {
 		// The personalized statistics are a different key space; sharing the
@@ -358,13 +363,19 @@ func (r *Result) CategorizeWith(tech Technique, opts Options) (*Tree, error) {
 // concurrent identical misses collapse into one computation.
 func (r *Result) CategorizeCtx(ctx context.Context, tech Technique, opts Options) (*Tree, error) {
 	if r.sys.cache.Enabled() && r.Query != nil {
-		v, _, err := r.sys.cache.Do(ctx, r.sys.cacheKey(r.Query, tech, opts),
-			func(cctx context.Context) (served, int64, error) {
+		v, _, err := r.sys.cache.DoStale(ctx,
+			r.sys.cacheKey(r.Query, tech, opts), r.sys.cacheBaseKey(r.Query, tech, opts),
+			func(cctx context.Context, stale served, haveStale bool) (served, int64, bool, error) {
+				if haveStale {
+					if tree, ok := r.sys.repairFromStale(cctx, r.Query, stale, tech, opts); ok {
+						return served{tree, DegradeNone, r.sys.stats}, treeBytes(tree) + tree.TraceBytes(), true, nil
+					}
+				}
 				tree, err := r.sys.buildTree(cctx, r.Query, r.Rows, tech, opts)
 				if err != nil {
-					return served{}, 0, err
+					return served{}, 0, false, err
 				}
-				return served{tree, DegradeNone}, treeBytes(tree), nil
+				return served{tree, DegradeNone, r.sys.stats}, treeBytes(tree) + tree.TraceBytes(), false, nil
 			})
 		return v.tree, err
 	}

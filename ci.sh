@@ -37,6 +37,13 @@ step "shard-parallel equivalence + concurrent append under race"
 go test -race -count=1 -run 'TestShard|TestConcurrentCategorizeAppend' \
     ./internal/category ./internal/relation
 
+step "repair equivalence + warmer under race"
+go test -race -count=1 -run 'TestRepair|TestServeRepair|TestLearnBatchServeRace|TestWarm' \
+    ./internal/category .
+
+step "warmbench smoke (repair + pre-warming under learn churn)"
+go run ./cmd/catload -warmbench -rows 2000 -queries 1500 -n 60 -mix 8 -learn-every 15 -warm-topk 8
+
 step "chaos smoke (fault-injection suite)"
 go test -race -count=1 -run 'TestChaos' ./internal/server
 

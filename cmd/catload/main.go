@@ -57,9 +57,27 @@ func main() {
 		cacheMB      = flag.Int64("cache-mb", 64, "tree cache byte bound in MiB for the -inproc cached server")
 		shards       = flag.Int("shards", 0, "shard-parallel fan-out for the -inproc servers (0 = GOMAXPROCS, 1 = off)")
 
+		warmbench  = flag.Bool("warmbench", false, "run the 3-phase learn-storm warming benchmark in-process (see cmd/catload/warmbench.go)")
+		learnEvery = flag.Int("learn-every", 25, "warmbench: learn a batch every this many requests")
+		warmTopK   = flag.Int("warm-topk", 16, "warmbench: pre-warm this many top signatures in the storm-warm phase")
+		warmBudget = flag.Duration("warm-budget", 0, "warmbench: wall budget per warming build (0 = 2s default)")
+		think      = flag.Duration("think", time.Millisecond, "warmbench: client think time between requests (excluded from latencies)")
+
 		bench = flag.Bool("bench", false, "also print go-bench-format lines for cmd/benchjson")
 	)
 	flag.Parse()
+
+	if *warmbench {
+		runWarmbench(warmbenchConfig{
+			rows: *rows, queries: *queries, seed: *seed,
+			mix:   queryMix(*mixSize, *seed),
+			total: *total, learnEvery: *learnEvery,
+			topK: *warmTopK, budget: *warmBudget, think: *think,
+			cacheEntries: *cacheEntries, cacheBytes: *cacheMB << 20,
+			shards: *shards,
+		}, *bench)
+		return
+	}
 
 	if (*url == "") == !*inproc {
 		log.Fatal("catload: exactly one of -url or -inproc is required")

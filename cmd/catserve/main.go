@@ -52,6 +52,9 @@ func main() {
 		softBudget    = flag.Duration("soft-budget", 0, "budget before -degrade steps down the technique (0 = half the deadline)")
 		degrade       = flag.Bool("degrade", false, "serve cheaper approximations instead of 504 when the soft budget is blown")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+
+		warmTopK   = flag.Int("warm-topk", 0, "pre-warm this many top signatures after each learn (requires -learn; 0 = off)")
+		warmBudget = flag.Duration("warm-budget", 0, "wall budget per pre-warming build (0 = 2s default)")
 	)
 	flag.Parse()
 
@@ -102,6 +105,8 @@ func main() {
 		Deadline:      *deadline,
 		SoftBudget:    *softBudget,
 		Degrade:       *degrade,
+		WarmTopK:      *warmTopK,
+		WarmBudget:    *warmBudget,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -131,6 +131,16 @@ type Categorizer struct {
 	// Counters, when non-nil, accumulates shard-parallel telemetry across
 	// builds (healthz's "sharding" block). Shared by pointer; nil is fine.
 	Counters *ShardCounters
+	// RecordTrace makes the build record a BuildTrace on the tree — the
+	// structural record Repair consumes (DESIGN.md §13). Off by default: the
+	// trace costs allocations proportional to candidates × levels, which
+	// one-shot builds never amortize. The serving layer turns it on for
+	// cacheable cost-based builds.
+	RecordTrace bool
+	// RepairBudget bounds how many old-tree nodes one Repair call may copy
+	// before giving up in favor of a full rebuild; 0 means
+	// DefaultRepairBudget.
+	RepairBudget int
 }
 
 // NewCategorizer returns a Categorizer over the given workload statistics
@@ -182,29 +192,64 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 	// The root owns a copy: callers keep their slice, and later in-place
 	// reorderings of the tree (ranking) cannot reach the caller's data.
 	tree := &Tree{Root: &Node{Label: Label{Kind: LabelAll}, Tset: append([]int(nil), rows...), P: 1, Pw: 1}, R: r, K: opts.K}
+	if c.RecordTrace && c.Corr == nil {
+		// Traces serve repair, and repair only applies under the independence
+		// model: the correlation refinement's probabilities depend on the
+		// retained per-query conditions, which the trace does not capture.
+		tree.Trace = &BuildTrace{Candidates: append([]string(nil), candidates...)}
+	}
 	frontier := []*Node{tree.Root}
 	if c.Corr != nil {
 		lc.compat = map[*Node][]int{tree.Root: c.Corr.AllIDs()}
 	}
+	if err := c.runLevels(lc, tree, frontier, candidates, 1); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
 
-	for level := 1; ; level++ {
+// runLevels executes the level-greedy loop (Figure 6) from startLevel,
+// mutating tree in place: per level it evaluates every remaining candidate's
+// best partitioning of the oversized frontier and commits the argmin. It is
+// the shared tail of categorize and of Repair's divergence path (the repair
+// pass copies stable levels, then hands the remaining levels to the exact
+// loop a rebuild would run).
+func (c *Categorizer) runLevels(lc *levelContext, tree *Tree, frontier []*Node, candidates []string, startLevel int) error {
+	opts := lc.opts
+	ctx := lc.ctx
+	for level := startLevel; ; level++ {
 		if opts.MaxLevels > 0 && level > opts.MaxLevels {
 			break
 		}
 		if err := faultinject.Inject(ctx, faultinject.SiteCategorizeLevel); err != nil {
-			return nil, fmt.Errorf("category: categorization abandoned: %w", err)
+			return fmt.Errorf("category: categorization abandoned: %w", err)
 		}
 		s := oversized(frontier, opts.M)
 		if len(s) == 0 || len(candidates) == 0 {
 			break
 		}
 		lc.resetLevel()
-		best := bestPlan(candidates, s, lc, lc.planFor)
+		best, all := bestPlanAll(candidates, s, lc, lc.planFor, tree.Trace != nil)
 		if err := ctxExpired(ctx); err != nil {
 			// A cancellation mid-fan-out may have skipped candidates; the
 			// surviving plan would be valid but not necessarily the best, so
 			// the whole build is abandoned rather than committed.
-			return nil, fmt.Errorf("category: categorization abandoned: %w", err)
+			return fmt.Errorf("category: categorization abandoned: %w", err)
+		}
+		if tree.Trace != nil {
+			lt := LevelTrace{
+				Candidates: append([]string(nil), candidates...),
+				Sketches:   make([]*planSketch, len(candidates)),
+			}
+			for i, pl := range all {
+				if pl != nil {
+					lt.Sketches[i] = sketchPlan(pl, s)
+				}
+			}
+			if best != nil {
+				lt.Chosen = best.attr
+			}
+			tree.Trace.Levels = append(tree.Trace.Levels, lt)
 		}
 		if best == nil {
 			break // no attribute partitions anything at this level
@@ -213,7 +258,7 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 		tree.LevelAttrs = append(tree.LevelAttrs, best.attr)
 		candidates = removeAttr(candidates, best.attr)
 	}
-	return tree, nil
+	return nil
 }
 
 // bestPlan evaluates every candidate attribute's partitioning of S with
@@ -224,6 +269,14 @@ func (c *Categorizer) categorize(r *relation.Relation, q *sqlparse.Query, rows [
 // into unbounded goroutines; selection is order-deterministic either way
 // (all candidates are costed and ties break on candidate-list position).
 func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(string, []*Node) *plan) *plan {
+	best, _ := bestPlanAll(candidates, s, lc, build, false)
+	return best
+}
+
+// bestPlanAll is bestPlan optionally exposing every candidate's plan (parallel
+// to candidates; nil where the candidate produced none) so a tracing build can
+// sketch the losing plans before they are discarded.
+func bestPlanAll(candidates []string, s []*Node, lc *levelContext, build func(string, []*Node) *plan, wantAll bool) (*plan, []*plan) {
 	type scored struct {
 		pl   *plan
 		cost float64
@@ -273,7 +326,14 @@ func bestPlan(candidates []string, s []*Node, lc *levelContext, build func(strin
 			best, bestCost = r.pl, r.cost
 		}
 	}
-	return best
+	if !wantAll {
+		return best, nil
+	}
+	all := make([]*plan, len(candidates))
+	for i := range results {
+		all[i] = results[i].pl
+	}
+	return best, all
 }
 
 // ctxExpired is ctx.Err() plus a wall-clock check of the deadline. A

@@ -1,0 +1,326 @@
+package category
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/resilience/faultinject"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// This file implements incremental tree repair (DESIGN.md §13): given a tree
+// built under an older statistics snapshot, its build trace, and the diff
+// between the snapshots, rebuild only the levels whose level-greedy choice
+// could actually have flipped and copy the rest. The repaired tree is
+// byte-identical to a from-scratch build under the new snapshot — the same
+// equivalence discipline as the columnar (PR 1) and shard-parallel (PR 6)
+// rewrites, pinned by golden and fuzz tests.
+//
+// Per level, three regimes, cheapest first:
+//
+//  1. Winner provably stable (diff.WinnerStable over the candidates plus the
+//     ancestors feeding the frontier probabilities, and an identical
+//     candidate list): nothing any cost reads moved, so the argmin cannot
+//     have; copy the old level without evaluating anything.
+//  2. Structure stable per candidate (diff.StructStable): the candidate's
+//     child partition is unchanged, so its cost is re-derived from the
+//     recorded sketch with table lookups — no partition work. Candidates
+//     whose occ/splits tables moved (or that are new) are rebuilt live. The
+//     argmin runs over the mixed costs in candidate order, bit-identical to
+//     the rebuild's.
+//  3. Divergence: the winner changed (or was never stable). The winning live
+//     plan is attached and the remaining levels run through the standard
+//     level loop — from here down this IS a rebuild, reusing nothing.
+//
+// Copied nodes share the old tree's tuple-set slices (immutable, and
+// generation-independent while the relation's data generation is unchanged —
+// the caller guarantees that by keying repairs on the data generation) but
+// re-derive every probability from the new snapshot, so even "untouched"
+// subtrees are re-stamped with the new P/Pw.
+
+// DefaultRepairBudget bounds how many old-tree nodes one repair may copy
+// before giving up: past the budget, the copying itself rivals a rebuild's
+// partition work and the serving path is better off paying the cold build.
+const DefaultRepairBudget = 1 << 17
+
+// RepairInfo reports what a Repair call did.
+type RepairInfo struct {
+	// OK is false when repair was not applicable (no trace, correlation
+	// model active, budget exceeded, or a structural inconsistency between
+	// the trace and the diff) and the caller must fall back to a rebuild.
+	OK bool
+	// CopiedNodes counts nodes reused (structure-copied and re-stamped) from
+	// the old tree; RebuiltNodes counts nodes built fresh after a
+	// divergence. Their sum is the repaired tree's node count.
+	CopiedNodes, RebuiltNodes int
+}
+
+// Repair revalidates old — a cost-based tree built for (r, q) under an older
+// statistics snapshot — against the Categorizer's current statistics, using
+// diff = DiffStats(oldStats, c.Stats, 0). On success the returned tree is
+// byte-identical to c.CategorizeRows(r, q, rows) with the same row set, at a
+// fraction of the partition work when the statistics drift is local. The old
+// tree is never mutated (it may be serving concurrently). A (nil, info, nil)
+// return with !info.OK means "not applicable, rebuild"; errors are
+// context-cancellation only.
+func (c *Categorizer) Repair(r *relation.Relation, q *sqlparse.Query, old *Tree, diff *workload.StatsDiff) (*Tree, RepairInfo, error) {
+	var info RepairInfo
+	if c.Stats == nil || r == nil || old == nil || old.Root == nil || old.Trace == nil || diff == nil || c.Corr != nil {
+		return nil, info, nil
+	}
+	opts := c.Opts.withDefaults()
+	est := &Estimator{Stats: c.Stats}
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Repair is a build entry point like categorize: it passes the same
+	// chaos sites, so the fault-injection suite's invariants (a certain
+	// panic is contained, a stall is cancellable) cover the repair path too.
+	if err := faultinject.Inject(ctx, faultinject.SiteCategorizeStart); err != nil {
+		return nil, info, fmt.Errorf("category: repair abandoned: %w", err)
+	}
+	budget := c.RepairBudget
+	if budget <= 0 {
+		budget = DefaultRepairBudget
+	}
+	lc := &levelContext{
+		r: r, q: q, stats: c.Stats, est: est, opts: opts, ctx: ctx,
+		shards: EffectiveShards(opts.Shards), counters: c.Counters,
+	}
+
+	// The candidate list a rebuild would start from, under the new snapshot.
+	candidates := opts.CandidateAttrs
+	if candidates == nil {
+		candidates = c.Stats.Retained(opts.X)
+	}
+	candidates = presentInSchema(candidates, r)
+
+	tree := &Tree{
+		Root: &Node{Label: Label{Kind: LabelAll}, Tset: old.Root.Tset, P: 1, Pw: 1},
+		R:    r, K: opts.K,
+		Trace: &BuildTrace{Candidates: append([]string(nil), candidates...)},
+	}
+	frontier := []*Node{tree.Root}
+	oldFrontier := []*Node{old.Root}
+
+	for level := 1; ; level++ {
+		if opts.MaxLevels > 0 && level > opts.MaxLevels {
+			break
+		}
+		if err := faultinject.Inject(ctx, faultinject.SiteCategorizeLevel); err != nil {
+			return nil, info, fmt.Errorf("category: repair abandoned: %w", err)
+		}
+		if err := ctxExpired(ctx); err != nil {
+			return nil, info, fmt.Errorf("category: repair abandoned: %w", err)
+		}
+		s := oversized(frontier, opts.M)
+		if len(s) == 0 || len(candidates) == 0 {
+			break
+		}
+		oldS := oversized(oldFrontier, opts.M)
+		if len(oldS) != len(s) {
+			return nil, RepairInfo{}, nil // trace/tree inconsistency; rebuild
+		}
+		var lt *LevelTrace
+		if level-1 < len(old.Trace.Levels) {
+			lt = &old.Trace.Levels[level-1]
+		}
+
+		// Regime 1: winner provably stable — copy without evaluating.
+		if lt != nil && sameStrings(candidates, lt.Candidates) &&
+			diff.WinnerStable(append(append([]string(nil), tree.LevelAttrs...), candidates...)) {
+			if lt.Chosen == "" {
+				tree.Trace.Levels = append(tree.Trace.Levels, LevelTrace{
+					Candidates: append([]string(nil), candidates...),
+					Sketches:   lt.Sketches,
+				})
+				break
+			}
+			next, oldNext, ok := c.copyLevel(tree, est, s, oldS, lt.Chosen, budget, &info)
+			if !ok {
+				return nil, RepairInfo{}, nil
+			}
+			tree.Trace.Levels = append(tree.Trace.Levels, LevelTrace{
+				Chosen:     lt.Chosen,
+				Candidates: append([]string(nil), candidates...),
+				Sketches:   lt.Sketches,
+			})
+			frontier, oldFrontier = next, oldNext
+			tree.LevelAttrs = append(tree.LevelAttrs, lt.Chosen)
+			candidates = removeAttr(candidates, lt.Chosen)
+			continue
+		}
+
+		// Regime 2: per-candidate evaluation — sketch re-cost where the
+		// structure is stable, live build where it is not. Selection mirrors
+		// bestPlanAll: strict-less argmin in candidate order.
+		lc.resetLevel()
+		sketches := make([]*planSketch, len(candidates))
+		var (
+			bestIdx      = -1
+			bestCost     float64
+			bestPl       *plan // nil when the winner came from a sketch
+			bestIsSketch bool
+		)
+		for i, attr := range candidates {
+			if err := ctxExpired(ctx); err != nil {
+				return nil, info, fmt.Errorf("category: repair abandoned: %w", err)
+			}
+			var cost float64
+			var pl *plan
+			var sk *planSketch
+			fromSketch := false
+			if prev := traceSketch(lt, attr); lt != nil && traceHas(lt, attr) && diff.StructStable(attr) && (prev == nil || prev.matches(s)) {
+				// Structure unchanged: a nil recorded sketch means the
+				// candidate produced no plan then — and therefore now.
+				if prev == nil {
+					continue
+				}
+				sk, cost, fromSketch = prev, prev.cost(s, est, attr, opts.K), true
+			}
+			if !fromSketch {
+				pl = lc.planFor(attr, s)
+				if pl == nil {
+					continue
+				}
+				cost = lc.planCost(pl, s)
+				sk = sketchPlan(pl, s)
+			}
+			sketches[i] = sk
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost, bestPl, bestIsSketch = i, cost, pl, fromSketch
+			}
+		}
+		if bestIdx < 0 {
+			tree.Trace.Levels = append(tree.Trace.Levels, LevelTrace{
+				Candidates: append([]string(nil), candidates...),
+				Sketches:   sketches,
+			})
+			break
+		}
+		chosen := candidates[bestIdx]
+		if bestIsSketch && lt != nil && chosen == lt.Chosen {
+			// Winner unchanged and structurally stable: copy the old level.
+			next, oldNext, ok := c.copyLevel(tree, est, s, oldS, chosen, budget, &info)
+			if !ok {
+				return nil, RepairInfo{}, nil
+			}
+			tree.Trace.Levels = append(tree.Trace.Levels, LevelTrace{
+				Chosen:     chosen,
+				Candidates: append([]string(nil), candidates...),
+				Sketches:   sketches,
+			})
+			frontier, oldFrontier = next, oldNext
+			tree.LevelAttrs = append(tree.LevelAttrs, chosen)
+			candidates = removeAttr(candidates, chosen)
+			continue
+		}
+
+		// Regime 3: divergence — attach the live winner and run the standard
+		// level loop for everything below.
+		if bestPl == nil {
+			bestPl = lc.planFor(chosen, s)
+			if bestPl == nil {
+				return nil, RepairInfo{}, nil // stability said plan exists; it doesn't
+			}
+			sketches[bestIdx] = sketchPlan(bestPl, s)
+		}
+		frontier = lc.attach(bestPl, s)
+		tree.Trace.Levels = append(tree.Trace.Levels, LevelTrace{
+			Chosen:     bestPl.attr,
+			Candidates: append([]string(nil), candidates...),
+			Sketches:   sketches,
+		})
+		tree.LevelAttrs = append(tree.LevelAttrs, bestPl.attr)
+		candidates = removeAttr(candidates, bestPl.attr)
+		if err := c.runLevels(lc, tree, frontier, candidates, level+1); err != nil {
+			return nil, info, err
+		}
+		info.OK = true
+		info.RebuiltNodes = tree.NodeCount() - info.CopiedNodes
+		return tree, info, nil
+	}
+	info.OK = true
+	info.RebuiltNodes = tree.NodeCount() - info.CopiedNodes
+	return tree, info, nil
+}
+
+// copyLevel reuses one old level wholesale: every oversized node's children
+// are copied (fresh Node structs sharing the immutable label and tuple-set
+// payloads) and re-stamped with probabilities derived from the NEW snapshot —
+// exactly what attach would have assigned. Returns the new and old child
+// frontiers, or ok=false when the copy would blow the node budget.
+func (c *Categorizer) copyLevel(tree *Tree, est *Estimator, s, oldS []*Node, chosen string, budget int, info *RepairInfo) (frontier, oldFrontier []*Node, ok bool) {
+	total := 0
+	for _, on := range oldS {
+		total += len(on.Children)
+	}
+	if info.CopiedNodes+total > budget {
+		return nil, nil, false
+	}
+	info.CopiedNodes += total
+	indepPw := est.ShowTuplesProb(chosen)
+	arena := make([]Node, total)
+	frontier = make([]*Node, 0, total)
+	oldFrontier = make([]*Node, 0, total)
+	k := 0
+	for si, n := range s {
+		on := oldS[si]
+		if len(on.Children) == 0 {
+			continue // stayed a leaf at this level
+		}
+		n.SubAttr = on.SubAttr
+		n.Pw = indepPw
+		n.Children = make([]*Node, 0, len(on.Children))
+		for _, oc := range on.Children {
+			child := &arena[k]
+			k++
+			*child = Node{Label: oc.Label, Tset: oc.Tset, P: est.ExploreProb(oc.Label), Pw: 1}
+			n.Children = append(n.Children, child)
+			frontier = append(frontier, child)
+			oldFrontier = append(oldFrontier, oc)
+		}
+	}
+	return frontier, oldFrontier, true
+}
+
+// traceSketch returns the recorded sketch for attr at this level, nil when
+// absent (no trace, candidate not evaluated then, or it produced no plan).
+func traceSketch(lt *LevelTrace, attr string) *planSketch {
+	if lt == nil {
+		return nil
+	}
+	for i, a := range lt.Candidates {
+		if strings.EqualFold(a, attr) {
+			return lt.Sketches[i]
+		}
+	}
+	return nil
+}
+
+// traceHas reports whether the level evaluated attr at all (distinguishing
+// "evaluated, produced no plan" from "not a candidate then").
+func traceHas(lt *LevelTrace, attr string) bool {
+	for _, a := range lt.Candidates {
+		if strings.EqualFold(a, attr) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

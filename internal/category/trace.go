@@ -1,0 +1,153 @@
+package category
+
+// This file records the *structure* of a cost-based build so a later
+// statistics snapshot can revalidate the tree without redoing the partition
+// work (DESIGN.md §13). The key observation: a candidate plan's children —
+// which labels exist, their presentation order, and their tuple-sets — depend
+// on the statistics only through the occurrence and splitpoint tables, while
+// every probability (and therefore every cost) is a pure function of the
+// statistics given that structure. So a trace that remembers, per level, each
+// candidate's child labels and sizes can re-cost the whole level under new
+// statistics with a handful of table lookups per child, and only candidates
+// whose occ/splits tables actually moved need a live rebuild.
+//
+// Traces deliberately retain no tuple-sets: a cached trace must not pin the
+// partition arenas of losing plans in memory. Labels are shared with the tree
+// (immutable after construction).
+
+// BuildTrace is the stats-independent record of one level-greedy search.
+type BuildTrace struct {
+	// Candidates is the initial candidate-attribute list (after workload
+	// elimination and schema filtering), in evaluation order.
+	Candidates []string
+	// Levels holds one entry per executed level iteration, including a
+	// terminal entry with empty Chosen when the search ended because no
+	// candidate partitioned anything.
+	Levels []LevelTrace
+}
+
+// LevelTrace records one level's candidate evaluation.
+type LevelTrace struct {
+	// Chosen is the winning attribute; empty when the level found no plan
+	// (the search stopped here).
+	Chosen string
+	// Candidates is the level's candidate list in evaluation order (ties in
+	// the cost argmin break on this order).
+	Candidates []string
+	// Sketches is parallel to Candidates; a nil entry means the candidate
+	// produced no plan at this level.
+	Sketches []*planSketch
+}
+
+// planSketch is the structure of one candidate plan: per oversized frontier
+// node, the parent size and the ordered child labels and sizes.
+type planSketch struct {
+	perNode []nodeSketch
+}
+
+type nodeSketch struct {
+	parentSize int
+	labels     []Label
+	sizes      []int
+}
+
+// sketchPlan captures a plan's structure against the frontier s it was built
+// for. Labels are shared (immutable); tuple-sets are dropped.
+func sketchPlan(pl *plan, s []*Node) *planSketch {
+	ps := &planSketch{perNode: make([]nodeSketch, len(s))}
+	for si, n := range s {
+		specs := pl.children[si]
+		ns := nodeSketch{
+			parentSize: n.Size(),
+			labels:     make([]Label, len(specs)),
+			sizes:      make([]int, len(specs)),
+		}
+		for i := range specs {
+			ns.labels[i] = specs[i].label
+			ns.sizes[i] = len(specs[i].tset)
+		}
+		ps.perNode[si] = ns
+	}
+	return ps
+}
+
+// matches reports whether the sketch was taken against a frontier shaped like
+// s (same node count, same parent sizes) — the precondition for re-costing it
+// in s's place.
+func (ps *planSketch) matches(s []*Node) bool {
+	if len(ps.perNode) != len(s) {
+		return false
+	}
+	for si, n := range s {
+		if ps.perNode[si].parentSize != n.Size() {
+			return false
+		}
+	}
+	return true
+}
+
+// cost re-evaluates the Figure 6 objective for the sketched plan under new
+// statistics. It mirrors planCost/twoLevelCostAllSpecs operation for
+// operation — same accumulation order, same intermediate expressions — so a
+// structurally-stable candidate re-costed from its sketch lands on the
+// bit-identical float a live rebuild would compute; the argmin over
+// sketch-costed and live-costed candidates is therefore exactly the rebuild's
+// argmin. Valid only under the independence model (no correlation index):
+// child probabilities come from Estimator.ExploreProb, which reproduces the
+// construction-time spec probabilities bitwise.
+func (ps *planSketch) cost(s []*Node, est *Estimator, attr string, k float64) float64 {
+	indepPw := est.ShowTuplesProb(attr)
+	total := 0.0
+	for si, n := range s {
+		ns := &ps.perNode[si]
+		showcat := k * float64(len(ns.sizes))
+		for i, sz := range ns.sizes {
+			showcat += est.ExploreProb(ns.labels[i]) * float64(sz)
+		}
+		total += n.P * (indepPw*float64(n.Size()) + (1-indepPw)*showcat)
+	}
+	return total
+}
+
+// bytes approximates the sketch's resident size for cache accounting.
+func (ps *planSketch) bytes() int64 {
+	size := int64(24) // struct + slice header
+	for i := range ps.perNode {
+		ns := &ps.perNode[i]
+		size += 64 + int64(len(ns.sizes))*8
+		for _, l := range ns.labels {
+			size += 80 + int64(len(l.Attr)+len(l.Value))
+			for _, v := range l.Values {
+				size += int64(len(v)) + 16
+			}
+		}
+	}
+	return size
+}
+
+// traceBytes approximates a whole trace's resident size.
+func traceBytes(tr *BuildTrace) int64 {
+	if tr == nil {
+		return 0
+	}
+	size := int64(48)
+	for _, a := range tr.Candidates {
+		size += int64(len(a)) + 16
+	}
+	for _, lt := range tr.Levels {
+		size += 72 + int64(len(lt.Chosen))
+		for _, a := range lt.Candidates {
+			size += int64(len(a)) + 16
+		}
+		for _, ps := range lt.Sketches {
+			if ps != nil {
+				size += ps.bytes()
+			}
+		}
+	}
+	return size
+}
+
+// TraceBytes reports the approximate resident size of the tree's build trace
+// (0 when untraced), for the serving layer's cache accounting.
+func (t *Tree) TraceBytes() int64 { return traceBytes(t.Trace) }

@@ -49,6 +49,16 @@ type Config struct {
 	HotPkgs          []string
 	HotApprovedFuncs []string
 
+	// WarmFuncs matches warm-path function names ("Func" or "Type.Method");
+	// inside them warmguard bans direct field reads of the snapshot-owner
+	// types in SnapshotTypes — the pre-warmer (PR7) rides behind the learn
+	// stream's snapshot swaps, so it must take the current snapshot through
+	// an atomic accessor (System/Snapshot), never through the owner's
+	// fields. Methods declared on a snapshot type are exempt: they are the
+	// accessors.
+	WarmFuncs     *regexp.Regexp
+	SnapshotTypes []string
+
 	// NoCopyPkgs is the serving path for the copylocks-style nocopy check:
 	// types carrying mutexes or atomics — and the reference-semantics types
 	// listed in NoCopyTypes ("pkgpath.Type" substrings) — must not be passed
@@ -76,6 +86,9 @@ func DefaultConfig() *Config {
 
 		HotPkgs:          []string{"internal/category", "internal/relation"},
 		HotApprovedFuncs: []string{"internal/category.ctxExpired"},
+
+		WarmFuncs:     regexp.MustCompile(`(?i)warm`),
+		SnapshotTypes: []string{"AdaptiveSystem"},
 
 		NoCopyPkgs: []string{
 			"repro", "internal/server", "internal/treecache",

@@ -92,6 +92,7 @@ func Checks() []*Check {
 		checkRecoverBound,
 		checkHotTime,
 		checkNoCopy,
+		checkWarmGuard,
 	}
 }
 

@@ -1,0 +1,61 @@
+// Package warmguard fixtures the warmer/snapshot accessor discipline: code
+// in warm-named functions must take the current snapshot through an
+// accessor, never by reading the snapshot owner's fields directly. The
+// mirror types use plain fields — warmguard's point is the accessor
+// boundary; the real fields' atomicity is snapshotguard's beat.
+package warmguard
+
+type System struct{ Gen int }
+
+// AdaptiveSystem mirrors the real snapshot owner.
+type AdaptiveSystem struct {
+	cur     *System
+	learned int64
+}
+
+// System is the accessor warm-path code must go through. Clean (and not
+// warm-named anyway).
+func (a *AdaptiveSystem) System() *System { return a.cur }
+
+// StopWarmer is warm-named, but its receiver IS the snapshot owner: the
+// accessors themselves necessarily touch the fields. Clean.
+func (a *AdaptiveSystem) StopWarmer() *System { return a.cur }
+
+type Warmer struct {
+	a      *AdaptiveSystem
+	cycles int
+}
+
+// warmCycle takes the snapshot through the accessor and only then reads it.
+// Clean: System is not a snapshot-owner type.
+func (w *Warmer) warmCycle() int {
+	sys := w.a.System()
+	w.cycles++
+	return sys.Gen
+}
+
+// warmPeek reads the snapshot pointer straight off the owner, racing the
+// publishing store. Finding.
+func (w *Warmer) warmPeek() *System {
+	return w.a.cur // want `warmer code reads AdaptiveSystem.cur directly`
+}
+
+// warmCount is a free function on the warm path reading a counter field
+// directly. Finding.
+func warmCount(a *AdaptiveSystem) int64 {
+	return a.learned // want `warmer code reads AdaptiveSystem.learned directly`
+}
+
+// warmSpawn hides the direct read inside a goroutine's function literal;
+// the literal is still warm-path code. Finding.
+func warmSpawn(w *Warmer, out chan<- *System) {
+	go func() {
+		out <- w.a.cur // want `warmer code reads AdaptiveSystem.cur directly`
+	}()
+}
+
+// serveTick is not warm-named: direct reads here are outside this check's
+// scope (the real owner's atomic fields answer to snapshotguard). Clean.
+func serveTick(a *AdaptiveSystem) int64 {
+	return a.learned
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkWarmGuard guards the pre-warmer/snapshot boundary (PR7): the warmer
+// rides behind the learn stream, so warm-path code must take the published
+// snapshot through an accessor (System/Snapshot/WarmerStats) and never read
+// the snapshot owner's fields directly — a direct read races the publishing
+// store and sees a torn view the accessor's atomic load rules out. Methods
+// declared ON a snapshot-owner type are exempt: they are the accessors.
+var checkWarmGuard = &Check{
+	Name: "warmguard",
+	Doc:  "warm-path code reads snapshot-owner fields only through atomic accessors",
+	Run:  runWarmGuard,
+}
+
+func runWarmGuard(pass *Pass) {
+	cfg := pass.Cfg
+	if cfg.WarmFuncs == nil || len(cfg.SnapshotTypes) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Match on the in-package name (Func or Type.Method), not the
+			// import path — a warm-named directory must not drag every
+			// function in it under the check.
+			if !cfg.WarmFuncs.MatchString(funcDeclName(fd)) {
+				continue
+			}
+			if recvIsSnapshotType(fd, cfg.SnapshotTypes) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if named, ok := derefNamed(s.Recv()); ok && nameIn(named.Obj().Name(), cfg.SnapshotTypes) {
+					pass.Reportf(sel.Sel.Pos(),
+						"warmer code reads %s.%s directly; take the published snapshot through an atomic accessor (System/Snapshot)",
+						named.Obj().Name(), sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// recvIsSnapshotType reports whether the declaration is a method whose
+// receiver is one of the snapshot-owner types.
+func recvIsSnapshotType(fd *ast.FuncDecl, snapshotTypes []string) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	name, ok := recvTypeName(fd.Recv.List[0].Type)
+	return ok && nameIn(name, snapshotTypes)
+}
+
+func nameIn(name string, set []string) bool {
+	for _, s := range set {
+		if name == s {
+			return true
+		}
+	}
+	return false
+}

@@ -68,6 +68,32 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// TryAcquireIdle obtains a slot only when the limiter is genuinely idle: a
+// free slot exists AND nobody is waiting in the queue. It never queues and
+// never sheds anybody — ok=false just means "busy, come back later". This is
+// the admission mode for strictly-background work (cache pre-warming): a
+// warmer using Acquire would take queue positions and slots that foreground
+// requests are about to need, turning warming into self-inflicted shedding.
+// The idle check is advisory (a foreground request can arrive right after),
+// but a background task holding a slot is indistinguishable from any other
+// admitted request, so the steady-state invariant — foreground traffic is
+// never shed because of warming — holds whenever warming concurrency is 1.
+func (l *Limiter) TryAcquireIdle() (release func(), ok bool) {
+	if l == nil {
+		return func() {}, true
+	}
+	if l.queued.Load() > 0 {
+		return nil, false
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFunc(), true
+	default:
+		return nil, false
+	}
+}
+
 func (l *Limiter) releaseFunc() func() {
 	var once sync.Once
 	return func() { once.Do(func() { <-l.sem }) }

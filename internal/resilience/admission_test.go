@@ -173,3 +173,58 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestTryAcquireIdle(t *testing.T) {
+	var nilL *Limiter
+	release, ok := nilL.TryAcquireIdle()
+	if !ok {
+		t.Fatal("nil limiter refused idle acquire")
+	}
+	release()
+
+	l := NewLimiter(1, 1)
+
+	// Idle: a free slot, nobody queued.
+	release, ok = l.TryAcquireIdle()
+	if !ok {
+		t.Fatal("idle limiter refused")
+	}
+	// All slots busy: refuse without queueing or shedding.
+	if _, ok := l.TryAcquireIdle(); ok {
+		t.Fatal("busy limiter granted an idle acquire")
+	}
+	s := l.Stats()
+	if s.QueueDepth != 0 || s.Shed != 0 {
+		t.Fatalf("idle refusal queued or shed: %+v", s)
+	}
+	release()
+	release() // idempotent
+
+	// Slot free but a foreground request is queued: still refuse — the
+	// queued request owns the next slot.
+	fgRelease, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedIn := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(queuedIn)
+		r, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued foreground request: %v", err)
+			return
+		}
+		r()
+	}()
+	<-queuedIn
+	for l.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := l.TryAcquireIdle(); ok {
+		t.Fatal("idle acquire granted while a request was queued")
+	}
+	fgRelease()
+	<-done
+}

@@ -74,6 +74,15 @@ type Config struct {
 	// SHOWTUPLES tree. Degraded responses carry X-Degraded and a "degraded"
 	// body field, and are never cached as full-fidelity trees.
 	Degrade bool
+
+	// WarmTopK enables predictive cache pre-warming (DESIGN.md §13): after
+	// each published learn, a background worker re-categorizes the WarmTopK
+	// most-requested signatures into the new generation, taking only idle
+	// admission slots so it never competes with foreground traffic. Requires
+	// Learn; 0 disables warming.
+	WarmTopK int
+	// WarmBudget is the wall budget per warming build. Default 2s.
+	WarmBudget time.Duration
 }
 
 // Server handles the HTTP API.
@@ -116,6 +125,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.adaptive = a
+		if cfg.WarmTopK > 0 {
+			a.StartWarmer(repro.WarmerConfig{
+				TopK:    cfg.WarmTopK,
+				Budget:  cfg.WarmBudget,
+				Opts:    cfg.Options,
+				Limiter: s.limiter,
+			})
+		}
+	} else if cfg.WarmTopK > 0 {
+		return nil, errors.New("server: WarmTopK requires Learn")
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/attributes", s.handleAttributes)
@@ -131,10 +150,16 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginShutdown puts the server into drain mode: new categorization requests
-// are shed with 503 (a load balancer should retry elsewhere) and learning
-// stops, so the statistics quiesce while in-flight requests finish. Call it
-// before http.Server.Shutdown; it is safe to call more than once.
-func (s *Server) BeginShutdown() { s.draining.Store(true) }
+// are shed with 503 (a load balancer should retry elsewhere), learning stops
+// so the statistics quiesce while in-flight requests finish, and the
+// pre-warmer is stopped (nothing left to warm for). Call it before
+// http.Server.Shutdown; it is safe to call more than once.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+	if s.adaptive != nil {
+		s.adaptive.StopWarmer()
+	}
+}
 
 // rejectDraining sheds the request with 503 when the server is draining.
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
@@ -231,6 +256,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	if sys.CacheEnabled() {
 		body["cache"] = sys.CacheStats()
+		// Incremental-repair counters (DESIGN.md §13): how stale-generation
+		// misses were satisfied — reused outright, repaired in place, or
+		// rebuilt from scratch — plus the node-level copy/rebuild split.
+		body["repair"] = sys.RepairStats()
+	}
+	if s.adaptive != nil {
+		if ws, ok := s.adaptive.WarmerStats(); ok {
+			body["warmer"] = ws
+		}
 	}
 	// Selection-engine counters (DESIGN.md §9): vectorized vs fallback path
 	// counts, cumulative Select wall time, and the conjunct-bitmap cache's

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func warmTestServer(t *testing.T, warmTopK int) (*Server, *httptest.Server) {
+	t.Helper()
+	rel := repro.DemoDataset(1500, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL:      repro.DemoWorkloadSQL(1000, 2),
+		Intervals:        repro.DemoIntervals(),
+		TreeCacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{System: sys, Learn: true, WarmTopK: warmTopK, MaxConcurrent: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.BeginShutdown()
+		hs.Close()
+	})
+	return srv, hs
+}
+
+func TestNewWarmRequiresLearn(t *testing.T) {
+	rel := repro.DemoDataset(200, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL: repro.DemoWorkloadSQL(100, 2),
+		Intervals:   repro.DemoIntervals(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{System: sys, WarmTopK: 4}); err == nil {
+		t.Fatal("WarmTopK without Learn should error")
+	}
+}
+
+// TestHealthzRepairAndWarmerShape drives a learn-churn sequence through the
+// HTTP path and pins the /healthz JSON contract for the new observability
+// blocks: the cache block's stale/repaired counters, the repair block, and
+// the warmer block.
+func TestHealthzRepairAndWarmerShape(t *testing.T) {
+	srv, hs := warmTestServer(t, 4)
+
+	// Serve → learn (the serve itself learns) → serve again: the second serve
+	// of the same signature finds the first generation's entry stale.
+	for i := 0; i < 2; i++ {
+		resp, _ := postJSON(t, hs.URL+"/v1/query", map[string]any{"sql": testSQL})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Cache *struct {
+			Hits      *uint64 `json:"hits"`
+			Misses    *uint64 `json:"misses"`
+			Shared    *uint64 `json:"shared"`
+			Evictions *uint64 `json:"evictions"`
+			Stale     *uint64 `json:"stale"`
+			Repaired  *uint64 `json:"repaired"`
+			Panics    *uint64 `json:"panics"`
+			Entries   *int    `json:"entries"`
+			Bytes     *int64  `json:"bytes"`
+		} `json:"cache"`
+		Repair *struct {
+			Reused       *uint64 `json:"reused"`
+			Repaired     *uint64 `json:"repaired"`
+			Rebuilt      *uint64 `json:"rebuilt"`
+			CopiedNodes  *uint64 `json:"copiedNodes"`
+			RebuiltNodes *uint64 `json:"rebuiltNodes"`
+		} `json:"repair"`
+		Warmer *repro.WarmerStats `json:"warmer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Cache == nil {
+		t.Fatal("healthz has no cache block")
+	}
+	for name, p := range map[string]bool{
+		"hits": body.Cache.Hits != nil, "misses": body.Cache.Misses != nil,
+		"shared": body.Cache.Shared != nil, "evictions": body.Cache.Evictions != nil,
+		"stale": body.Cache.Stale != nil, "repaired": body.Cache.Repaired != nil,
+		"panics": body.Cache.Panics != nil, "entries": body.Cache.Entries != nil,
+		"bytes": body.Cache.Bytes != nil,
+	} {
+		if !p {
+			t.Errorf("cache block missing %q", name)
+		}
+	}
+	if body.Repair == nil {
+		t.Fatal("healthz has no repair block")
+	}
+	for name, p := range map[string]bool{
+		"reused": body.Repair.Reused != nil, "repaired": body.Repair.Repaired != nil,
+		"rebuilt": body.Repair.Rebuilt != nil, "copiedNodes": body.Repair.CopiedNodes != nil,
+		"rebuiltNodes": body.Repair.RebuiltNodes != nil,
+	} {
+		if !p {
+			t.Errorf("repair block missing %q", name)
+		}
+	}
+	if body.Warmer == nil {
+		t.Fatal("healthz has no warmer block")
+	}
+	if body.Warmer.TopK != 4 {
+		t.Errorf("warmer topK = %d, want 4", body.Warmer.TopK)
+	}
+	// The second serve hit a stale first-generation entry; it must have been
+	// counted, and satisfied by reuse/repair or rebuild — never silently.
+	if *body.Cache.Stale == 0 {
+		t.Error("no stale-offer counted after learn churn")
+	}
+	if *body.Repair.Reused+*body.Repair.Repaired+*body.Repair.Rebuilt == 0 {
+		t.Error("stale miss not accounted by the repair counters")
+	}
+
+	// BeginShutdown stops the warmer; the block disappears from /healthz.
+	srv.BeginShutdown()
+	resp2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var after struct {
+		Warmer *repro.WarmerStats `json:"warmer"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Warmer != nil {
+		t.Error("warmer block still reported after shutdown began")
+	}
+}
+
+// TestWarmerWarmsThroughServer checks the end-to-end loop: HTTP serves learn,
+// learning wakes the warmer, and the warmer lands the hot signature in the
+// cache so a later request is a hit even though the generation moved.
+func TestWarmerWarmsThroughServer(t *testing.T) {
+	srv, hs := warmTestServer(t, 4)
+
+	// Serve the signature a few times so it dominates the warmer's top-K,
+	// each serve learning and bumping the generation.
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, hs.URL+"/v1/query", map[string]any{"sql": testSQL})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	q, err := repro.ParseQuery(testSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// The warmer must catch the current generation up on its own: no
+		// /v1/query requests from here on, only cache probes.
+		if _, ok := srv.adaptive.System().Peek(q, repro.CostBased, srv.cfg.Options); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			ws, ok := srv.adaptive.WarmerStats()
+			t.Fatalf("warmer never caught up (stats ok=%v %+v)", ok, ws)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, _ := postJSON(t, hs.URL+"/v1/query", map[string]any{"sql": testSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final query: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("X-Cache = %q after warming, want hit", got)
+	}
+}

@@ -12,6 +12,12 @@
 // Invalidation is by key construction, not by explicit purge: workload-stats
 // snapshots carry a generation counter, the generation is part of the key,
 // and entries from superseded generations simply age out of the LRU.
+//
+// Superseded entries are not dead weight, though: DoStale lets a miss consult
+// the newest entry sharing the caller's base key (everything but the
+// generation) and hand it to the compute, which may repair it into the new
+// generation's value far cheaper than a cold build (DESIGN.md §13). Staleness
+// is resolved under the same singleflight as the compute itself.
 package treecache
 
 import (
@@ -44,6 +50,12 @@ type Stats struct {
 	Shared uint64 `json:"shared"`
 	// Evictions counts values dropped to respect the bounds.
 	Evictions uint64 `json:"evictions"`
+	// Stale counts computations that were offered a superseded-generation
+	// value for their base key (a DoStale miss with repair material).
+	Stale uint64 `json:"stale"`
+	// Repaired counts computes that reported deriving their value from the
+	// offered stale one instead of building cold.
+	Repaired uint64 `json:"repaired"`
 	// Panics counts computes that panicked. The panic is demoted to a
 	// *resilience.PanicError delivered to every waiter; nothing is cached
 	// and the process survives.
@@ -60,6 +72,7 @@ type Cache[V any] struct {
 	cfg      Config
 	ll       *list.List // front = most recently used
 	table    map[string]*list.Element
+	byBase   map[string]*list.Element // newest entry per base key (DoStale)
 	inflight map[string]*call[V]
 	bytes    int64
 	stats    Stats
@@ -67,6 +80,7 @@ type Cache[V any] struct {
 
 type entry[V any] struct {
 	key  string
+	base string // generation-free prefix of key; "" when untracked
 	val  V
 	size int64
 }
@@ -89,6 +103,7 @@ func New[V any](cfg Config) *Cache[V] {
 		cfg:      cfg,
 		ll:       list.New(),
 		table:    make(map[string]*list.Element),
+		byBase:   make(map[string]*list.Element),
 		inflight: make(map[string]*call[V]),
 	}
 }
@@ -127,6 +142,29 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // (the entry is not poisoned, the process survives). If ctx is canceled
 // while waiting, Do returns ctx's error.
 func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Context) (V, int64, error)) (val V, hit bool, err error) {
+	return c.do(ctx, key, "", func(cctx context.Context, _ V, _ bool) (V, int64, bool, error) {
+		v, size, err := compute(cctx)
+		return v, size, false, err
+	})
+}
+
+// DoStale is Do for generation-stamped keys: key is the full lookup key
+// (including the stats generation), base is the generation-free prefix shared
+// by every generation of the same logical entry. On a miss, the newest stored
+// value under base — necessarily a superseded generation, or the full key
+// would have hit — is handed to compute as repair material (haveStale reports
+// whether one existed; its recency is not refreshed). compute additionally
+// returns repaired, true when the value was derived from the stale one rather
+// than built cold — counted separately so operators can see repair working.
+// All other semantics (singleflight, negative-size no-store, panic
+// containment, cancellation) match Do.
+func (c *Cache[V]) DoStale(ctx context.Context, key, base string, compute func(cctx context.Context, stale V, haveStale bool) (V, int64, bool, error)) (val V, hit bool, err error) {
+	return c.do(ctx, key, base, compute)
+}
+
+func (c *Cache[V]) do(ctx context.Context, key, base string, compute func(context.Context, V, bool) (V, int64, bool, error)) (val V, hit bool, err error) {
+	var stale V
+	haveStale := false
 	c.mu.Lock()
 	if el, ok := c.table[key]; ok {
 		c.ll.MoveToFront(el)
@@ -141,6 +179,13 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 		c.mu.Unlock()
 		return c.wait(ctx, cl)
 	}
+	if base != "" {
+		if el, ok := c.byBase[base]; ok && el.Value.(*entry[V]).key != key {
+			stale = el.Value.(*entry[V]).val
+			haveStale = true
+			c.stats.Stale++
+		}
+	}
 	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	cl := &call[V]{done: make(chan struct{}), cancel: cancel, refs: 1}
 	c.inflight[key] = cl
@@ -148,12 +193,17 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 	c.mu.Unlock()
 
 	go func() {
-		v, size, err := c.protect(cctx, compute)
+		v, size, repaired, err := c.protectStale(cctx, stale, haveStale, compute)
 		c.mu.Lock()
 		cl.val, cl.size, cl.err = v, size, err
 		delete(c.inflight, key)
-		if err == nil && size >= 0 {
-			c.insertLocked(key, v, size)
+		if err == nil {
+			if repaired {
+				c.stats.Repaired++
+			}
+			if size >= 0 {
+				c.insertLocked(key, base, v, size)
+			}
 		}
 		c.mu.Unlock()
 		cancel()
@@ -162,13 +212,15 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(context.Cont
 	return c.wait(ctx, cl)
 }
 
-// protect runs compute behind the singleflight resilience.Protect boundary:
-// a panic anywhere below (the categorizer, an injected fault) becomes an
-// error delivered to all waiters instead of tearing down the process.
-func (c *Cache[V]) protect(cctx context.Context, compute func(context.Context) (V, int64, error)) (V, int64, error) {
+// protectStale runs compute behind the singleflight resilience.Protect
+// boundary: a panic anywhere below (the categorizer, a repair, an injected
+// fault) becomes an error delivered to all waiters instead of tearing down
+// the process.
+func (c *Cache[V]) protectStale(cctx context.Context, stale V, haveStale bool, compute func(context.Context, V, bool) (V, int64, bool, error)) (V, int64, bool, error) {
 	type sized struct {
-		val  V
-		size int64
+		val      V
+		size     int64
+		repaired bool
 	}
 	out, err := resilience.Protect(
 		func(*resilience.PanicError) {
@@ -180,11 +232,11 @@ func (c *Cache[V]) protect(cctx context.Context, compute func(context.Context) (
 			if err := faultinject.Inject(cctx, faultinject.SiteCacheCompute); err != nil {
 				return sized{}, err
 			}
-			v, size, err := compute(cctx)
-			return sized{v, size}, err
+			v, size, repaired, err := compute(cctx, stale, haveStale)
+			return sized{v, size, repaired}, err
 		},
 	)
-	return out.val, out.size, err
+	return out.val, out.size, out.repaired, err
 }
 
 // wait blocks until the call completes or ctx is canceled. Abandoning the
@@ -209,7 +261,7 @@ func (c *Cache[V]) wait(ctx context.Context, cl *call[V]) (V, bool, error) {
 // bounds hold again. The newest entry survives even when it alone exceeds
 // MaxBytes: evicting what was just computed would thrash. A disabled cache
 // (both bounds zero) stores nothing.
-func (c *Cache[V]) insertLocked(key string, val V, size int64) {
+func (c *Cache[V]) insertLocked(key, base string, val V, size int64) {
 	if c.cfg.MaxEntries <= 0 && c.cfg.MaxBytes <= 0 {
 		return
 	}
@@ -219,7 +271,11 @@ func (c *Cache[V]) insertLocked(key string, val V, size int64) {
 		el.Value.(*entry[V]).size = size
 		c.ll.MoveToFront(el)
 	} else {
-		c.table[key] = c.ll.PushFront(&entry[V]{key: key, val: val, size: size})
+		el := c.ll.PushFront(&entry[V]{key: key, base: base, val: val, size: size})
+		c.table[key] = el
+		if base != "" {
+			c.byBase[base] = el // newest generation wins the base slot
+		}
 		c.bytes += size
 	}
 	for c.ll.Len() > 1 &&
@@ -237,6 +293,9 @@ func (c *Cache[V]) evictLocked() {
 	e := el.Value.(*entry[V])
 	c.ll.Remove(el)
 	delete(c.table, e.key)
+	if e.base != "" && c.byBase[e.base] == el {
+		delete(c.byBase, e.base)
+	}
 	c.bytes -= e.size
 	c.stats.Evictions++
 }
@@ -258,5 +317,6 @@ func (c *Cache[V]) Flush() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.table)
+	clear(c.byBase)
 	c.bytes = 0
 }

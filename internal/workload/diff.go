@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"strings"
+)
+
+// This file implements the stats-diff layer behind incremental tree repair
+// (DESIGN.md §13): given two generation-stamped Stats snapshots, report which
+// attributes' count tables actually moved. The categorizer consumes the diff
+// to decide, per level, whether the old tree's structure can be reused
+// (occurrence/splitpoint tables unchanged ⇒ identical partitions) and whether
+// the level's winning attribute is provably unchanged (nothing any candidate's
+// cost depends on moved ⇒ identical costs, identical argmin).
+
+// AttrDelta reports which of one attribute's tables changed between two
+// snapshots. The zero value means "nothing changed".
+type AttrDelta struct {
+	// UsageChanged: NAttr(A) moved — every ShowTuplesProb(A) and
+	// ExploreProb denominator shifts.
+	UsageChanged bool
+	// OccChanged: the per-value occurrence counts moved — categorical
+	// presentation order and probabilities may shift.
+	OccChanged bool
+	// SplitsChanged: the splitpoint start/end tables moved — numeric cut
+	// selection may shift.
+	SplitsChanged bool
+	// RangesChanged: the sorted range index moved — NOverlapRange (range
+	// label probabilities) may shift.
+	RangesChanged bool
+}
+
+// Any reports whether any table of the attribute changed.
+func (d AttrDelta) Any() bool {
+	return d.UsageChanged || d.OccChanged || d.SplitsChanged || d.RangesChanged
+}
+
+// StatsDiff is the comparison of two Stats snapshots.
+type StatsDiff struct {
+	// Same is true when N and every attribute table compare equal under the
+	// epsilon. With epsilon 0 this means the snapshots are content-identical:
+	// every probability the categorizer derives is bitwise the same, so an
+	// old tree IS the new tree.
+	Same bool
+	// NOld and NNew are the workload sizes of the two snapshots. N enters
+	// every SHOWTUPLES probability (1 − NAttr/N), so two snapshots with any
+	// learning between them differ here even when an attribute's own tables
+	// did not move.
+	NOld, NNew int
+	// Changed maps lower-cased attribute names to what moved. Attributes
+	// absent from the map are unchanged in every table.
+	Changed map[string]AttrDelta
+}
+
+// DiffStats compares two snapshots. epsilon is a relative tolerance on the
+// counts: |a−b| ≤ epsilon·max(|a|,|b|) compares equal. Pass 0 for the exact
+// diff repair requires; a small positive epsilon gives the advisory diff the
+// pre-warmer uses to skip cycles whose statistics barely moved.
+func DiffStats(old, new *Stats, epsilon float64) *StatsDiff {
+	d := &StatsDiff{NOld: old.n, NNew: new.n, Changed: make(map[string]AttrDelta)}
+	for key := range old.attrUsage {
+		d.compareAttr(old, new, key, epsilon)
+	}
+	for key := range new.attrUsage {
+		if _, seen := old.attrUsage[key]; !seen {
+			d.compareAttr(old, new, key, epsilon)
+		}
+	}
+	d.Same = len(d.Changed) == 0 && !differInt(old.n, new.n, epsilon)
+	return d
+}
+
+func (d *StatsDiff) compareAttr(old, new *Stats, key string, eps float64) {
+	var ad AttrDelta
+	ad.UsageChanged = differInt(old.attrUsage[key], new.attrUsage[key], eps) ||
+		old.caseOf[key] != new.caseOf[key]
+	ad.OccChanged = occDiffer(old.occ[key], new.occ[key], eps)
+	ad.SplitsChanged = splitsDiffer(old.splits[key], new.splits[key], eps)
+	ad.RangesChanged = rangesDiffer(old.ranges[key], new.ranges[key], eps)
+	if ad.Any() {
+		d.Changed[key] = ad
+	}
+}
+
+// Delta returns the attribute's delta (zero when unchanged).
+func (d *StatsDiff) Delta(attr string) AttrDelta {
+	return d.Changed[strings.ToLower(attr)]
+}
+
+// StructStable reports whether the attribute's partition *structure* is
+// provably unchanged: the occurrence and splitpoint tables — the only
+// statistics that influence which children a plan produces, their order, and
+// their tuple-sets — compare equal. Probabilities (which additionally depend
+// on N, NAttr, and the range index) may still have moved; the repair pass
+// recomputes those from the new snapshot.
+func (d *StatsDiff) StructStable(attr string) bool {
+	ad := d.Delta(attr)
+	return !ad.OccChanged && !ad.SplitsChanged
+}
+
+// WinnerStable is the cheap per-level "winner unchanged?" predicate: when the
+// workload size is identical and none of the listed attributes changed in any
+// table, every plan any of them produces — structure, probabilities, and
+// therefore cost — is bitwise identical between the snapshots, so the
+// level-greedy argmin cannot have flipped. Callers must pass every attribute
+// the level's costs read: the level's candidates plus the ancestors whose
+// labels set the frontier's exploration probabilities.
+func (d *StatsDiff) WinnerStable(attrs []string) bool {
+	if d.NOld != d.NNew {
+		return false
+	}
+	for _, a := range attrs {
+		if d.Delta(a).Any() {
+			return false
+		}
+	}
+	return true
+}
+
+// differInt compares two counts under the relative epsilon.
+func differInt(a, b int, eps float64) bool {
+	if a == b {
+		return false
+	}
+	if eps <= 0 {
+		return true
+	}
+	m := math.Max(math.Abs(float64(a)), math.Abs(float64(b)))
+	return math.Abs(float64(a)-float64(b)) > eps*m
+}
+
+func differFloat(a, b float64, eps float64) bool {
+	if a == b {
+		return false
+	}
+	if eps <= 0 {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) > eps*m
+}
+
+func occDiffer(a, b map[string]int, eps float64) bool {
+	for v, ca := range a {
+		if differInt(ca, b[v], eps) {
+			return true
+		}
+	}
+	for v, cb := range b {
+		if _, seen := a[v]; !seen && differInt(0, cb, eps) {
+			return true
+		}
+	}
+	return false
+}
+
+func splitsDiffer(a, b *SplitTable, eps float64) bool {
+	if a == nil || b == nil {
+		return boundaryDiffer(a, b)
+	}
+	if a.Interval != b.Interval {
+		return true
+	}
+	return gridDiffer(a.start, b.start, eps) || gridDiffer(a.end, b.end, eps)
+}
+
+// boundaryDiffer handles a nil-vs-present table: a table only exists once the
+// workload carries a range condition on the attribute, so nil vs non-empty is
+// a change; nil vs nil (or a somehow-empty table) is not.
+func boundaryDiffer(a, b *SplitTable) bool {
+	count := func(t *SplitTable) int {
+		if t == nil {
+			return 0
+		}
+		return len(t.start) + len(t.end)
+	}
+	return count(a) != count(b)
+}
+
+func gridDiffer(a, b map[float64]int, eps float64) bool {
+	for v, ca := range a {
+		if differInt(ca, b[v], eps) {
+			return true
+		}
+	}
+	for v, cb := range b {
+		if _, seen := a[v]; !seen && differInt(0, cb, eps) {
+			return true
+		}
+	}
+	return false
+}
+
+func rangesDiffer(a, b *rangeIndex, eps float64) bool {
+	la, lb := 0, 0
+	if a != nil {
+		la = len(a.los)
+	}
+	if b != nil {
+		lb = len(b.los)
+	}
+	if la != lb {
+		// The number of mined ranges moved. Under a positive epsilon, tolerate
+		// a relative drift in the count (the advisory diff only needs "did the
+		// overlap landscape move materially").
+		return differInt(la, lb, eps)
+	}
+	if la == 0 {
+		return false
+	}
+	for i := range a.los {
+		if differFloat(a.los[i], b.los[i], eps) || differFloat(a.his[i], b.his[i], eps) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func diffTestStats(t *testing.T, extra ...string) *Stats {
+	t.Helper()
+	base := []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') AND price BETWEEN 200000 AND 250000",
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA')",
+		"SELECT * FROM ListProperty WHERE bedrooms BETWEEN 2 AND 4",
+		"SELECT * FROM ListProperty WHERE propertytype = 'Condo'",
+	}
+	w, err := ParseStrings(append(base, extra...))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Preprocess(w, Config{
+		Table:     "ListProperty",
+		Intervals: map[string]float64{"price": 25000, "bedrooms": 1},
+	})
+}
+
+func TestDiffStatsIdentical(t *testing.T) {
+	a := diffTestStats(t)
+	b := diffTestStats(t)
+	d := DiffStats(a, b, 0)
+	if !d.Same {
+		t.Fatalf("identical snapshots diff as changed: %+v", d.Changed)
+	}
+	if len(d.Changed) != 0 {
+		t.Fatalf("Changed = %+v, want empty", d.Changed)
+	}
+	if !d.WinnerStable([]string{"neighborhood", "price", "bedrooms", "propertytype"}) {
+		t.Fatalf("WinnerStable = false on identical snapshots")
+	}
+}
+
+func TestDiffStatsCloneIsSame(t *testing.T) {
+	a := diffTestStats(t)
+	d := DiffStats(a, a.Clone(), 0)
+	if !d.Same {
+		t.Fatalf("clone diffs as changed: %+v", d.Changed)
+	}
+}
+
+func TestDiffStatsOccChange(t *testing.T) {
+	a := diffTestStats(t)
+	b := diffTestStats(t, "SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA')")
+	d := DiffStats(a, b, 0)
+	if d.Same {
+		t.Fatalf("diff reports Same across an added query")
+	}
+	ad := d.Delta("neighborhood")
+	if !ad.UsageChanged || !ad.OccChanged {
+		t.Fatalf("neighborhood delta = %+v, want usage+occ changed", ad)
+	}
+	if ad.SplitsChanged || ad.RangesChanged {
+		t.Fatalf("neighborhood delta = %+v, numeric tables should be untouched", ad)
+	}
+	if d.StructStable("neighborhood") {
+		t.Fatalf("StructStable(neighborhood) = true despite occ change")
+	}
+	// Attributes the new query does not mention stay structurally stable.
+	if !d.StructStable("price") || !d.StructStable("bedrooms") {
+		t.Fatalf("untouched attributes not StructStable: price=%v bedrooms=%v",
+			d.StructStable("price"), d.StructStable("bedrooms"))
+	}
+	// But N moved, so no winner is provably stable.
+	if d.WinnerStable([]string{"price"}) {
+		t.Fatalf("WinnerStable = true despite N changing %d -> %d", d.NOld, d.NNew)
+	}
+}
+
+func TestDiffStatsRangeChange(t *testing.T) {
+	a := diffTestStats(t)
+	b := diffTestStats(t, "SELECT * FROM ListProperty WHERE price BETWEEN 225000 AND 275000")
+	d := DiffStats(a, b, 0)
+	ad := d.Delta("price")
+	if !ad.UsageChanged || !ad.SplitsChanged || !ad.RangesChanged {
+		t.Fatalf("price delta = %+v, want usage+splits+ranges changed", ad)
+	}
+	if ad.OccChanged {
+		t.Fatalf("price delta reports occ change for a range query")
+	}
+	if d.StructStable("price") {
+		t.Fatalf("StructStable(price) = true despite splitpoint change")
+	}
+}
+
+func TestDiffStatsNewAttribute(t *testing.T) {
+	a := diffTestStats(t)
+	b := diffTestStats(t, "SELECT * FROM ListProperty WHERE sqft BETWEEN 1000 AND 2000")
+	d := DiffStats(a, b, 0)
+	if !d.Delta("sqft").Any() {
+		t.Fatalf("newly-seen attribute not reported changed")
+	}
+	// And symmetrically when the attribute disappears.
+	d = DiffStats(b, a, 0)
+	if !d.Delta("sqft").Any() {
+		t.Fatalf("dropped attribute not reported changed")
+	}
+}
+
+func TestDiffStatsEpsilonTolerates(t *testing.T) {
+	// 100 identical queries vs 101: a 1% drift on every neighborhood count.
+	var base, more []string
+	for i := 0; i < 100; i++ {
+		base = append(base, "SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')")
+	}
+	more = append(append([]string(nil), base...),
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA')")
+	wa, _ := ParseStrings(base)
+	wb, _ := ParseStrings(more)
+	a := Preprocess(wa, Config{Table: "ListProperty"})
+	b := Preprocess(wb, Config{Table: "ListProperty"})
+	if d := DiffStats(a, b, 0); d.Same {
+		t.Fatalf("exact diff misses the extra query")
+	}
+	if d := DiffStats(a, b, 0.05); !d.Same {
+		t.Fatalf("5%% relative epsilon should absorb a 1%% count drift: %+v", d.Changed)
+	}
+}
+
+func TestDiffStatsAfterAddQuery(t *testing.T) {
+	// The incremental AddQuery path and a from-scratch Preprocess over the
+	// extended log must compare equal — the invariant that lets serve-time
+	// repair diff a learned clone against a cached snapshot's stats.
+	extra := "SELECT * FROM ListProperty WHERE neighborhood IN ('Kirkland, WA') AND price BETWEEN 250000 AND 300000"
+	inc := diffTestStats(t).Clone()
+	q, err := sqlparse.Parse(extra)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	inc.AddQuery(q, Config{Table: "ListProperty", Intervals: map[string]float64{"price": 25000, "bedrooms": 1}})
+	full := diffTestStats(t, extra)
+	if d := DiffStats(inc, full, 0); !d.Same {
+		t.Fatalf("AddQuery clone diverges from full Preprocess: %+v", d.Changed)
+	}
+}

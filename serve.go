@@ -15,6 +15,7 @@ import (
 	"repro/internal/resilience/faultinject"
 	"repro/internal/sqlparse"
 	"repro/internal/treecache"
+	"repro/internal/workload"
 )
 
 // The concurrent serving path (DESIGN.md §8): a request's SQL is parsed and
@@ -57,10 +58,14 @@ type ServeOutcome struct {
 // served is the tree cache's value type: the tree plus its degradation rung,
 // so singleflight waiters joining a degraded compute learn what they got.
 // Stored entries are always full fidelity (degraded computes are not
-// inserted).
+// inserted). stats pins the immutable statistics snapshot the tree was built
+// under: when a later generation finds this entry stale, diffing that snapshot
+// against the current one decides whether the tree can be repaired in place
+// (DESIGN.md §13).
 type served struct {
-	tree *Tree
-	deg  Degradation
+	tree  *Tree
+	deg   Degradation
+	stats *workload.Stats
 }
 
 // errSoftBudget is the cancellation cause of a degradation step's soft
@@ -98,6 +103,48 @@ func (s *System) ResilienceStats() ResilienceStats {
 		Panics:           s.resil.panics.Load() + s.CacheStats().Panics,
 		DegradedAttrCost: s.resil.degradedAttr.Load(),
 		DegradedFlat:     s.resil.degradedFlat.Load(),
+	}
+}
+
+// repairCounters tracks how stale-entry revalidation resolves (DESIGN.md
+// §13). Shared (by pointer) across an AdaptiveSystem's snapshots like the
+// cache and the resilience counters: repair activity is a property of the
+// serving process.
+type repairCounters struct {
+	reused       atomic.Uint64
+	repaired     atomic.Uint64
+	rebuilt      atomic.Uint64
+	copiedNodes  atomic.Uint64
+	rebuiltNodes atomic.Uint64
+}
+
+// RepairStats is a point-in-time snapshot of stale-tree revalidation activity
+// (surfaced in /healthz). Every counter describes a cache miss that found a
+// superseded-generation tree to start from.
+type RepairStats struct {
+	// Reused counts stale trees adopted unchanged because the statistics
+	// diff was empty (a Learn that didn't move any table).
+	Reused uint64 `json:"reused"`
+	// Repaired counts stale trees incrementally repaired into the new
+	// generation; Rebuilt counts the ones where repair declined (no trace,
+	// budget exceeded, correlation model active) and a cold build ran.
+	Repaired uint64 `json:"repaired"`
+	Rebuilt  uint64 `json:"rebuilt"`
+	// CopiedNodes and RebuiltNodes sum RepairInfo over successful repairs:
+	// how much tree structure was reused versus rebuilt below divergences.
+	CopiedNodes  uint64 `json:"copiedNodes"`
+	RebuiltNodes uint64 `json:"rebuiltNodes"`
+}
+
+// RepairStats returns the stale-tree revalidation counters. For an
+// AdaptiveSystem the counters are shared across snapshots.
+func (s *System) RepairStats() RepairStats {
+	return RepairStats{
+		Reused:       s.repairc.reused.Load(),
+		Repaired:     s.repairc.repaired.Load(),
+		Rebuilt:      s.repairc.rebuilt.Load(),
+		CopiedNodes:  s.repairc.copiedNodes.Load(),
+		RebuiltNodes: s.repairc.rebuiltNodes.Load(),
 	}
 }
 
@@ -185,22 +232,79 @@ func (s *System) ServeParsedWith(ctx context.Context, q *Query, tech Technique, 
 		}
 		return ServeOutcome{Tree: tree, Degraded: deg}, nil
 	}
-	v, hit, err := s.cache.Do(ctx, s.cacheKey(q, tech, opts), func(cctx context.Context) (served, int64, error) {
-		tree, deg, err := s.buildLadder(cctx, q, s.rel.Select(q.Predicate()), tech, opts, pol)
-		if err != nil {
-			return served{}, 0, err
-		}
-		if deg != DegradeNone {
-			// A degraded tree is an overload artifact, not the query's true
-			// categorization: hand it to the waiters, store nothing.
-			return served{tree, deg}, -1, nil
-		}
-		return served{tree, deg}, treeBytes(tree), nil
-	})
+	v, hit, err := s.cache.DoStale(ctx, s.cacheKey(q, tech, opts), s.cacheBaseKey(q, tech, opts),
+		func(cctx context.Context, stale served, haveStale bool) (served, int64, bool, error) {
+			if haveStale {
+				if tree, ok := s.repairFromStale(cctx, q, stale, tech, opts); ok {
+					return served{tree, DegradeNone, s.stats}, treeBytes(tree) + tree.TraceBytes(), true, nil
+				}
+			}
+			rows := s.staleRows(q, stale, haveStale)
+			tree, deg, err := s.buildLadder(cctx, q, rows, tech, opts, pol)
+			if err != nil {
+				return served{}, 0, false, err
+			}
+			if deg != DegradeNone {
+				// A degraded tree is an overload artifact, not the query's true
+				// categorization: hand it to the waiters, store nothing.
+				return served{tree, deg, s.stats}, -1, false, nil
+			}
+			return served{tree, deg, s.stats}, treeBytes(tree) + tree.TraceBytes(), false, nil
+		})
 	if err != nil {
 		return out, mapDeadlineErr(ctx, err)
 	}
 	return ServeOutcome{Tree: v.tree, Hit: hit, Degraded: v.deg}, nil
+}
+
+// staleRows returns the result rows for a cache-miss build. A stale entry's
+// root tuple-set IS the query's result: the base key includes the relation's
+// data generation, so the stale tree was selected from exactly these rows —
+// the selection can be skipped even when the tree itself cannot be repaired.
+func (s *System) staleRows(q *Query, stale served, haveStale bool) []int {
+	if haveStale && stale.tree != nil {
+		return stale.tree.Root.Tset
+	}
+	return s.rel.Select(q.Predicate())
+}
+
+// repairFromStale tries to revalidate a superseded-generation cache entry
+// against the current statistics snapshot (DESIGN.md §13): an empty diff
+// adopts the stale tree outright; otherwise the recorded build trace drives
+// an incremental repair that is byte-identical to a cold build. ok=false
+// means the caller must build cold (and the decline was counted). Runs inside
+// the cache's singleflight, behind its panic boundary.
+func (s *System) repairFromStale(ctx context.Context, q *Query, stale served, tech Technique, opts Options) (*Tree, bool) {
+	if tech != CostBased || s.corr != nil || stale.tree == nil || stale.stats == nil || stale.deg != DegradeNone {
+		return nil, false
+	}
+	diff := workload.DiffStats(stale.stats, s.stats, 0)
+	if diff.Same {
+		// The learn didn't move any table this tree reads: same tree, new
+		// generation key.
+		s.repairc.reused.Add(1)
+		return stale.tree, true
+	}
+	if stale.tree.Trace == nil {
+		s.repairc.rebuilt.Add(1)
+		return nil, false
+	}
+	if opts.Shards == 0 {
+		opts.Shards = s.opts.Shards
+	}
+	c := category.NewCategorizer(s.stats, opts)
+	c.Ctx = ctx
+	c.Counters = s.shardc
+	c.RecordTrace = true // the repaired tree must itself be repairable
+	tree, info, err := c.Repair(s.rel, q, stale.tree, diff)
+	if err != nil || !info.OK {
+		s.repairc.rebuilt.Add(1)
+		return nil, false
+	}
+	s.repairc.repaired.Add(1)
+	s.repairc.copiedNodes.Add(uint64(info.CopiedNodes))
+	s.repairc.rebuiltNodes.Add(uint64(info.RebuiltNodes))
+	return tree, true
 }
 
 // Peek returns the memoized full-fidelity tree for q if one is stored,
@@ -324,6 +428,10 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 		c.Corr = s.corr
 		c.Ctx = ctx
 		c.Counters = s.shardc
+		// Cached builds record the repair trace (DESIGN.md §13): the tree may
+		// outlive this statistics generation as stale repair material. One-shot
+		// uncached builds skip the bookkeeping.
+		c.RecordTrace = s.cache.Enabled()
 		return c.CategorizeRows(s.rel, q, rows)
 		// Cost-based trees carry their (possibly path-conditional)
 		// probabilities from construction; no re-annotation.
@@ -363,6 +471,18 @@ func (s *System) buildTree(ctx context.Context, q *Query, rows []int, tech Techn
 // excluded: the built tree is byte-identical at every shard count (§12), so
 // keying on it would only fork the cache into redundant copies.
 func (s *System) cacheKey(q *Query, tech Technique, opts Options) string {
+	return fmt.Sprintf("%s\x1e%d", s.cacheBaseKey(q, tech, opts), s.gen)
+}
+
+// cacheBaseKey is the generation-free prefix of cacheKey: everything that
+// identifies the logical entry (signature, technique, options, data
+// generation) except the stats generation. Two cache keys sharing a base key
+// are the same query under different statistics snapshots — which is exactly
+// the relation that makes a superseded entry valid repair material, so the
+// cache indexes stale lookups by this prefix. The data generation stays in
+// the base: a tree built before an Append categorizes different rows and can
+// repair nothing.
+func (s *System) cacheBaseKey(q *Query, tech Technique, opts Options) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%s|%s|%d|%d|%s|%t|%t|%d|%d|%t|%t|%d|%d|%s",
 		tech, opts.M, relation.SigNum(opts.K), relation.SigNum(opts.X),
@@ -370,7 +490,7 @@ func (s *System) cacheKey(q *Query, tech Technique, opts Options) string {
 		opts.AutoBuckets, opts.EquiDepth, opts.MaxZeroCandidates, opts.MaxLevels,
 		opts.Parallel, opts.CandidateAttrs != nil, opts.MaxCategories, opts.MinCondSupport,
 		strings.Join(opts.CandidateAttrs, "\x1f"))
-	return fmt.Sprintf("%s\x1e%x\x1e%d\x1e%d", q.Signature(), h.Sum64(), s.gen, s.rel.DataGeneration())
+	return fmt.Sprintf("%s\x1e%x\x1e%d", q.Signature(), h.Sum64(), s.rel.DataGeneration())
 }
 
 // treeBytes approximates a tree's resident size for the cache's byte bound:

@@ -1,0 +1,214 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// treeFingerprint renders every structural and probabilistic detail of a tree
+// into one comparable string: depth, label, subcategorizing attribute, exact
+// float bits of P and Pw, and the ordered tuple-set. Two trees with equal
+// fingerprints are byte-identical in everything the serving path promises.
+func treeFingerprint(t *repro.Tree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attrs=%v k=%b\n", t.LevelAttrs, t.K)
+	t.Root.Walk(func(n *repro.Node, depth int) bool {
+		fmt.Fprintf(&b, "%d|%s|%s|%b|%b|%v\n",
+			depth, n.Label.String(), n.SubAttr, n.P, n.Pw, n.Tset)
+		return true
+	})
+	return b.String()
+}
+
+// cachedAdaptiveFixture is adaptiveFixture plus a tree cache, the
+// configuration under which serving records repair traces.
+func cachedAdaptiveFixture(t *testing.T, rows, queries int) *repro.AdaptiveSystem {
+	t.Helper()
+	rel := repro.DemoDataset(rows, 1)
+	sys, err := repro.NewSystem(rel, repro.Config{
+		WorkloadSQL:      repro.DemoWorkloadSQL(queries, 2),
+		Intervals:        repro.DemoIntervals(),
+		TreeCacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestServeRepairEquivalence drives the full serving path through a learn
+// step: the second serve of the same query finds the first generation's tree
+// stale, repairs (or reuses) it, and must produce exactly the tree a cold
+// build under the new statistics would.
+func TestServeRepairEquivalence(t *testing.T) {
+	a := cachedAdaptiveFixture(t, 3000, 2000)
+	ctx := context.Background()
+	sql := "SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA','Bellevue, WA') AND price BETWEEN 200000 AND 400000"
+
+	sys0 := a.System()
+	if _, _, _, err := sys0.Serve(ctx, sql, repro.CostBased, repro.Options{}); err != nil {
+		t.Fatalf("cold serve: %v", err)
+	}
+
+	learned := []string{
+		"SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond, WA')",
+		"SELECT * FROM ListProperty WHERE price BETWEEN 300000 AND 500000",
+		"SELECT * FROM ListProperty WHERE bedrooms BETWEEN 2 AND 4",
+	}
+	if err := a.LearnBatch(learned); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+
+	sys1 := a.System()
+	if sys1.Generation() == sys0.Generation() {
+		t.Fatalf("learn did not bump the generation")
+	}
+	tree, _, hit, err := sys1.Serve(ctx, sql, repro.CostBased, repro.Options{})
+	if err != nil {
+		t.Fatalf("post-learn serve: %v", err)
+	}
+	if hit {
+		t.Fatalf("post-learn serve reported a hit; the generation moved")
+	}
+	rs := sys1.RepairStats()
+	if rs.Repaired+rs.Reused == 0 {
+		t.Fatalf("stale entry was not repaired or reused: %+v", rs)
+	}
+
+	// The ground truth: a fresh cacheless system over the same statistics
+	// snapshot must build the identical tree from scratch.
+	fresh, err := repro.NewSystem(sys1.Relation(), repro.Config{Stats: sys1.Stats()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _, err := fresh.Serve(ctx, sql, repro.CostBased, repro.Options{})
+	if err != nil {
+		t.Fatalf("reference rebuild: %v", err)
+	}
+	if got, exp := treeFingerprint(tree), treeFingerprint(want); got != exp {
+		t.Errorf("repaired serve differs from cold rebuild:\nrepair:\n%s\nrebuild:\n%s", got, exp)
+	}
+
+	// And the served tree must now be cached under the new generation.
+	if _, _, hit, err = sys1.Serve(ctx, sql, repro.CostBased, repro.Options{}); err != nil || !hit {
+		t.Fatalf("repaired tree not cached: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestServeRepairAcrossGenerations chains several learns, serving between
+// each: every serve must match a cold rebuild of its generation, no matter
+// how many times the underlying entry has been repaired.
+func TestServeRepairAcrossGenerations(t *testing.T) {
+	a := cachedAdaptiveFixture(t, 2000, 1500)
+	ctx := context.Background()
+	sql := "SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA') AND price BETWEEN 150000 AND 450000"
+
+	for round := 0; round < 4; round++ {
+		sys := a.System()
+		tree, _, _, err := sys.Serve(ctx, sql, repro.CostBased, repro.Options{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		fresh, err := repro.NewSystem(sys.Relation(), repro.Config{Stats: sys.Stats()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _, err := fresh.Serve(ctx, sql, repro.CostBased, repro.Options{})
+		if err != nil {
+			t.Fatalf("round %d reference: %v", round, err)
+		}
+		if treeFingerprint(tree) != treeFingerprint(want) {
+			t.Fatalf("round %d: served tree diverged from cold rebuild", round)
+		}
+		if err := a.Learn(fmt.Sprintf(
+			"SELECT * FROM ListProperty WHERE price BETWEEN %d AND %d", 200000+10000*round, 300000+10000*round)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs := a.System().RepairStats(); rs.Repaired == 0 {
+		t.Errorf("no incremental repairs across 4 generations: %+v", rs)
+	}
+}
+
+// TestLearnBatchServeRace races concurrent serves against a learn publishing
+// a new generation (run under -race). Every observed tree must be exactly the
+// old generation's tree or the new one's — never a blend — and singleflight
+// must keep the distinct computations bounded by the number of generations.
+func TestLearnBatchServeRace(t *testing.T) {
+	a := cachedAdaptiveFixture(t, 1500, 1000)
+	ctx := context.Background()
+	sql := "SELECT * FROM ListProperty WHERE neighborhood IN ('Seattle, WA','Redmond, WA') AND price BETWEEN 150000 AND 500000"
+
+	// Pin the old generation's tree, and precompute the new generation's on a
+	// side system sharing the learned statistics.
+	tree0, _, _, err := a.System().Serve(ctx, sql, repro.CostBased, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref0 := treeFingerprint(tree0)
+	missesBefore := a.System().CacheStats().Misses
+
+	learned := []string{
+		"SELECT * FROM ListProperty WHERE bedrooms BETWEEN 3 AND 5",
+		"SELECT * FROM ListProperty WHERE price BETWEEN 250000 AND 350000",
+	}
+
+	const servers = 8
+	start := make(chan struct{})
+	results := make([][]string, servers)
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 6; j++ {
+				tree, _, _, err := a.System().Serve(ctx, sql, repro.CostBased, repro.Options{})
+				if err != nil {
+					t.Errorf("server %d: %v", i, err)
+					return
+				}
+				results[i] = append(results[i], treeFingerprint(tree))
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := a.LearnBatch(learned); err != nil {
+			t.Errorf("learn: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	sys1 := a.System()
+	tree1, _, _, err := sys1.Serve(ctx, sql, repro.CostBased, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref1 := treeFingerprint(tree1)
+
+	for i, fps := range results {
+		for j, fp := range fps {
+			if fp != ref0 && fp != ref1 {
+				t.Fatalf("server %d serve %d observed a tree matching neither generation", i, j)
+			}
+		}
+	}
+	// Singleflight across the race: the only computations are one per
+	// generation of this key (the gen-0 build happened before the snapshot).
+	if misses := sys1.CacheStats().Misses - missesBefore; misses > 1 {
+		t.Errorf("%d distinct computations for one query across one learn; singleflight should bound it to 1", misses)
+	}
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench check chaos report examples fuzz lint lint-selfcheck ci clean
+.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench segmentbench check chaos report examples fuzz lint lint-selfcheck ci clean
 
 all: build test
 
@@ -106,6 +106,19 @@ shardbench:
 	go run ./cmd/benchjson -diff -o BENCH_shard.json BENCH_categorize.json BENCH_shard.json
 	@echo wrote BENCH_shard.json
 
+# The segmented-storage numbers, recorded as BENCH_segment.json: steady-state
+# per-row Append cost at growing preloads, the append-then-read cost of the
+# incremental maintenance path against the replayed drop-everything design on
+# a preloaded 100k relation, and zone-map-pruned vs structurally-unpruned
+# cold Select at paper scale (1.7M rows; DESIGN.md §14).
+segmentbench:
+	go test -run='^$$' -bench='^BenchmarkSegment' -benchmem -count=5 -timeout=45m ./internal/relation \
+		| tee segmentbench_output.txt \
+		| go run ./cmd/benchjson \
+		  -note "segmented columnar store: incremental append maintenance vs drop-everything baseline (rows=100000) + zone-map pruning at paper scale (rows=1700000, DESIGN.md §14)" \
+		  -o BENCH_segment.json
+	@echo wrote BENCH_segment.json
+
 # The learning-churn numbers, recorded as BENCH_warm.json: cmd/catload's
 # 3-phase warmbench (baseline, learn storm without warming, learn storm with
 # the pre-warmer) at paper scale — p50/p95 serve latency, hit counts, and
@@ -139,5 +152,5 @@ fuzz:
 	go test ./internal/relation -fuzz=FuzzVectorizedSelect -fuzztime=30s
 
 clean:
-	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt shardbench_output.txt warmbench_output.txt
+	rm -f experiments_report.txt experiments_report.json test_output.txt bench_output.txt servebench_output.txt selectbench_output.txt shardbench_output.txt warmbench_output.txt segmentbench_output.txt
 	rm -f catlint catlint.json lint_output.txt

@@ -37,6 +37,11 @@ step "shard-parallel equivalence + concurrent append under race"
 go test -race -count=1 -run 'TestShard|TestConcurrentCategorizeAppend' \
     ./internal/category ./internal/relation
 
+step "segmented storage: seal/select races + golden equivalence under race"
+go test -race -count=1 \
+    -run 'TestSegment|TestConcurrentAppendSealSelect|TestAppendExtends|TestZone' \
+    ./internal/category ./internal/relation
+
 step "repair equivalence + warmer under race"
 go test -race -count=1 -run 'TestRepair|TestServeRepair|TestLearnBatchServeRace|TestWarm' \
     ./internal/category .

@@ -5,16 +5,19 @@
 //
 // Usage:
 //
-//	datagen [-rows N] [-queries N] [-seed N] [-dir DIR] [-stats]
+//	datagen [-rows N] [-queries N] [-seed N] [-dir DIR] [-stats] [-stream]
+//
+// With -stream the dataset is generated row by row straight to disk in
+// constant memory (the output is byte-identical to the materialized path),
+// so paper-scale and larger files — 1.7M rows, 10M rows — need no
+// proportional RAM.
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 
 	"repro"
 	"repro/internal/datagen"
@@ -29,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed")
 		dir       = flag.String("dir", ".", "output directory")
 		withStats = flag.Bool("stats", false, "also write preprocessed count tables (stats.gob)")
+		stream    = flag.Bool("stream", false, "stream the dataset CSV row by row in constant memory")
 	)
 	flag.Parse()
 
@@ -36,12 +40,23 @@ func main() {
 		fatal(err)
 	}
 
-	rel := datagen.Dataset(datagen.DatasetConfig{Rows: *rows, Seed: *seed})
+	cfg := datagen.DatasetConfig{Rows: *rows, Seed: *seed}
 	csvPath := filepath.Join(*dir, "listproperty.csv")
-	if err := writeCSV(csvPath, rel); err != nil {
-		fatal(err)
+	var nRows, nCols int
+	if *stream {
+		n, err := streamCSV(csvPath, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		nRows, nCols = n, datagen.Schema(cfg).Len()
+	} else {
+		rel := datagen.Dataset(cfg)
+		if err := writeCSV(csvPath, rel); err != nil {
+			fatal(err)
+		}
+		nRows, nCols = rel.Len(), rel.Schema().Len()
 	}
-	fmt.Printf("wrote %s (%d rows × %d columns)\n", csvPath, rel.Len(), rel.Schema().Len())
+	fmt.Printf("wrote %s (%d rows × %d columns)\n", csvPath, nRows, nCols)
 
 	sql := datagen.WorkloadSQL(datagen.WorkloadConfig{Queries: *queries, Seed: *seed + 1})
 	sqlPath := filepath.Join(*dir, "workload.sql")
@@ -81,31 +96,23 @@ func writeCSV(path string, rel *relation.Relation) error {
 		return err
 	}
 	defer f.Close()
-	w := csv.NewWriter(f)
-	schema := rel.Schema()
-	header := make([]string, schema.Len())
-	for i := range header {
-		header[i] = schema.Attr(i).Name
-	}
-	if err := w.Write(header); err != nil {
+	if err := rel.WriteCSV(f); err != nil {
 		return err
 	}
-	record := make([]string, schema.Len())
-	for i := 0; i < rel.Len(); i++ {
-		row := rel.Row(i)
-		for j := range record {
-			if schema.Attr(j).Type == relation.Categorical {
-				record[j] = row[j].Str
-			} else {
-				record[j] = strconv.FormatFloat(row[j].Num, 'f', -1, 64)
-			}
-		}
-		if err := w.Write(record); err != nil {
-			return err
-		}
+	return f.Close()
+}
+
+func streamCSV(path string, cfg datagen.DatasetConfig) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
 	}
-	w.Flush()
-	return w.Error()
+	defer f.Close()
+	n, err := datagen.StreamCSV(f, cfg)
+	if err != nil {
+		return n, err
+	}
+	return n, f.Close()
 }
 
 func writeLines(path string, lines []string) error {

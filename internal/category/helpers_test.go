@@ -19,10 +19,29 @@ func testSchema() *relation.Schema {
 	)
 }
 
+// testSegmentRows, when non-zero, sets the sealed-segment size of every
+// relation testRelation builds — the segment-equivalence tests rebuild
+// goldens and race categorization against seals at sizes 1, 64, and the
+// default. Zero leaves relation.DefaultSegmentRows in effect.
+var testSegmentRows = 0
+
+// forceSegmentRows pins testRelation's segment size for one test.
+func forceSegmentRows(t testing.TB, n int) {
+	t.Helper()
+	old := testSegmentRows
+	testSegmentRows = n
+	t.Cleanup(func() { testSegmentRows = old })
+}
+
 // testRelation builds a deterministic homes table with n rows spread over
 // the Seattle-area neighborhoods, price 200k-300k, 1-6 bedrooms.
 func testRelation(n int) *relation.Relation {
 	r := relation.New("ListProperty", testSchema())
+	if testSegmentRows > 0 {
+		if err := r.SetSegmentRows(testSegmentRows); err != nil {
+			panic(err)
+		}
+	}
 	hoods := []string{"Bellevue, WA", "Redmond, WA", "Seattle, WA", "Issaquah, WA", "Kirkland, WA"}
 	types := []string{"Single Family", "Condo", "Townhouse"}
 	rng := rand.New(rand.NewSource(7))

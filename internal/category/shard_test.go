@@ -101,47 +101,76 @@ func TestShardCountersAccumulate(t *testing.T) {
 }
 
 // TestConcurrentCategorizeAppend races categorization builds against row
-// appends on a shared relation; run under -race (ci.sh's shard pass does).
-// The RCU row store guarantees each build sees a consistent snapshot: row
-// indices drawn from an older snapshot stay valid because rows only append.
+// appends — and therefore segment seals and incremental projection/index
+// extension — on a shared relation; run under -race (ci.sh's shard pass
+// does). The RCU row store guarantees each build sees a consistent
+// snapshot: row indices drawn from an older snapshot stay valid because
+// rows only append. Runs at segment sizes 1 (every append seals), 64
+// (seals race mid-build), and the default (tail-only churn).
 func TestConcurrentCategorizeAppend(t *testing.T) {
 	forceSharding(t)
 	stats := testStats(t)
-	r := testRelation(600)
-	template := r.Row(0)
+	for _, segRows := range []int{1, 64, 0} {
+		t.Run(fmt.Sprintf("segRows=%d", segRows), func(t *testing.T) {
+			forceSegmentRows(t, segRows)
+			r := testRelation(600)
+			template := r.Row(0)
 
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		// Bounded: an unthrottled append loop grows the relation by millions
-		// of rows and the builds never finish. 2000 appends racing 8 builds
-		// is plenty for the race detector.
-		for i := 0; i < 2000; i++ {
-			select {
-			case <-stop:
-				return
-			default:
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Bounded: an unthrottled append loop grows the relation by
+				// millions of rows and the builds never finish. 2000 appends
+				// racing 8 builds is plenty for the race detector.
+				for i := 0; i < 2000; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					row := append(relation.Tuple(nil), template...)
+					r.MustAppend(row)
+					runtime.Gosched()
+				}
+			}()
+
+			for i := 0; i < 8; i++ {
+				c := NewCategorizer(stats, Options{M: 20, X: 0.1, Shards: 4, Parallel: i%2 == 0})
+				tree, err := c.Categorize(r, nil)
+				if err != nil {
+					t.Fatalf("build %d: %v", i, err)
+				}
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("build %d: %v", i, err)
+				}
 			}
-			row := append(relation.Tuple(nil), template...)
-			r.MustAppend(row)
-			runtime.Gosched()
-		}
-	}()
-
-	for i := 0; i < 8; i++ {
-		c := NewCategorizer(stats, Options{M: 20, X: 0.1, Shards: 4, Parallel: i%2 == 0})
-		tree, err := c.Categorize(r, nil)
-		if err != nil {
-			t.Fatalf("build %d: %v", i, err)
-		}
-		if err := tree.Validate(); err != nil {
-			t.Fatalf("build %d: %v", i, err)
-		}
+			close(stop)
+			wg.Wait()
+		})
 	}
-	close(stop)
-	wg.Wait()
+}
+
+// TestSegmentGoldenEquivalence is the iron contract at the tree layer: the
+// full golden scenario set rebuilt at segment sizes 1 and 64 — where the
+// 600-row test relation seals 600 and 9 segments respectively — must be
+// identical in every field to the default-segment build (which never seals
+// at this scale).
+func TestSegmentGoldenEquivalence(t *testing.T) {
+	base := goldenScenarios(t)
+	for _, segRows := range []int{1, 64} {
+		t.Run(fmt.Sprintf("segRows=%d", segRows), func(t *testing.T) {
+			forceSegmentRows(t, segRows)
+			got := goldenScenarios(t)
+			if len(got) != len(base) {
+				t.Fatalf("scenario count %d, want %d", len(got), len(base))
+			}
+			for i := range base {
+				compareGolden(t, base[i], got[i])
+			}
+		})
+	}
 }
 
 // FuzzShardEquivalence drives random (rows, M, shards) triples through both

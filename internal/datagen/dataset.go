@@ -36,6 +36,11 @@ type DatasetConfig struct {
 	// (mirroring the 53-attribute MSN table of which only 6 survive
 	// elimination). Default 43, giving 53 attributes total.
 	FillerAttrs int
+	// SegmentRows, when non-zero, sets the sealed-segment size of the
+	// relation Dataset materializes (relation.SetSegmentRows). Zero keeps
+	// relation.DefaultSegmentRows. Ignored by the streaming paths, which
+	// never build a relation.
+	SegmentRows int
 }
 
 func (c DatasetConfig) withDefaults() DatasetConfig {
@@ -95,14 +100,16 @@ func Schema(cfg DatasetConfig) *relation.Schema {
 	return relation.MustSchema(attrs...)
 }
 
-// Dataset generates the synthetic ListProperty relation: Rows homes across
-// the metro regions with correlated price, size and bedroom counts.
-func Dataset(cfg DatasetConfig) *relation.Relation {
+// Stream generates the synthetic ListProperty rows one at a time, handing
+// each freshly allocated tuple to emit without materializing a relation —
+// memory use is constant in cfg.Rows. The rng call sequence is exactly
+// Dataset's, so row i of Stream equals row i of Dataset(cfg) for the same
+// config (pinned by TestStreamMatchesDataset). A non-nil error from emit
+// stops generation and is returned.
+func Stream(cfg DatasetConfig, emit func(i int, t relation.Tuple) error) error {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	regions := Regions()
-	r := relation.New(TableName, Schema(cfg))
-	r.Grow(cfg.Rows)
 	types := PropertyTypes()
 	typeWeights := []float64{0.52, 0.22, 0.12, 0.07, 0.04, 0.03}
 	for i := 0; i < cfg.Rows; i++ {
@@ -157,7 +164,29 @@ func Dataset(cfg DatasetConfig) *relation.Relation {
 				tuple = append(tuple, relation.StringValue(fmt.Sprintf("opt%d", rng.Intn(8))))
 			}
 		}
-		r.MustAppend(tuple)
+		if err := emit(i, tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dataset generates the synthetic ListProperty relation: Rows homes across
+// the metro regions with correlated price, size and bedroom counts. It is
+// the materializing wrapper around Stream.
+func Dataset(cfg DatasetConfig) *relation.Relation {
+	cfg = cfg.withDefaults()
+	r := relation.New(TableName, Schema(cfg))
+	if cfg.SegmentRows > 0 {
+		if err := r.SetSegmentRows(cfg.SegmentRows); err != nil {
+			panic(err) // unreachable: the relation is empty and SegmentRows ≥ 1
+		}
+	}
+	r.Grow(cfg.Rows)
+	if err := Stream(cfg, func(_ int, t relation.Tuple) error {
+		return r.Append(t)
+	}); err != nil {
+		panic(err) // unreachable: tuples match Schema(cfg) by construction
 	}
 	return r
 }

@@ -1,0 +1,48 @@
+package datagen
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"repro/internal/relation"
+)
+
+// StreamCSV writes the synthetic ListProperty dataset as CSV (header row
+// first) directly to w, one generated row at a time. Output is
+// byte-identical to Dataset(cfg) followed by Relation.WriteCSV — pinned by
+// TestStreamCSVMatchesWriteCSV — but memory use stays constant in cfg.Rows,
+// so paper-scale (and beyond) files can be produced without materializing
+// the relation. Returns the number of rows written.
+func StreamCSV(w io.Writer, cfg DatasetConfig) (int, error) {
+	cfg = cfg.withDefaults()
+	schema := Schema(cfg)
+	bw := bufio.NewWriter(w)
+	header := make([]string, schema.Len())
+	for i := range header {
+		header[i] = schema.Attr(i).Name
+	}
+	if err := relation.WriteCSVRecord(bw, header); err != nil {
+		return 0, err
+	}
+	rows := 0
+	record := make([]string, schema.Len())
+	err := Stream(cfg, func(_ int, t relation.Tuple) error {
+		for j := range record {
+			if schema.Attr(j).Type == relation.Categorical {
+				record[j] = t[j].Str
+			} else {
+				record[j] = strconv.FormatFloat(t[j].Num, 'f', -1, 64)
+			}
+		}
+		if err := relation.WriteCSVRecord(bw, record); err != nil {
+			return err
+		}
+		rows++
+		return nil
+	})
+	if err != nil {
+		return rows, err
+	}
+	return rows, bw.Flush()
+}

@@ -59,6 +59,16 @@ type Config struct {
 	WarmFuncs     *regexp.Regexp
 	SnapshotTypes []string
 
+	// SegPkgs are the packages allowed to write segment column pages in
+	// place (internal/relation, whose extension paths write only into
+	// unpublished spare capacity under the relation mutex). SegFields lists
+	// the shared page-carrying fields ("Type.Field") segguard bans writing,
+	// appending to, or copying into anywhere else — a sealed segment's
+	// Codes/Dict backing is shared by every published column snapshot,
+	// conjunct bitmap, and index built over it (PR8). Reads stay free.
+	SegPkgs   []string
+	SegFields []string
+
 	// NoCopyPkgs is the serving path for the copylocks-style nocopy check:
 	// types carrying mutexes or atomics — and the reference-semantics types
 	// listed in NoCopyTypes ("pkgpath.Type" substrings) — must not be passed
@@ -89,6 +99,9 @@ func DefaultConfig() *Config {
 
 		WarmFuncs:     regexp.MustCompile(`(?i)warm`),
 		SnapshotTypes: []string{"AdaptiveSystem"},
+
+		SegPkgs:   []string{"internal/relation"},
+		SegFields: []string{"CatColumn.Codes", "CatColumn.Dict"},
 
 		NoCopyPkgs: []string{
 			"repro", "internal/server", "internal/treecache",

@@ -93,6 +93,7 @@ func Checks() []*Check {
 		checkHotTime,
 		checkNoCopy,
 		checkWarmGuard,
+		checkSegGuard,
 	}
 }
 

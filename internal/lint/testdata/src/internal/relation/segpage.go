@@ -1,0 +1,18 @@
+package relation
+
+// CatColumn mirrors the real dictionary-encoded column for the segguard
+// scoping proof: this package's import path contains "internal/relation", so
+// the in-place page writes below are the sanctioned extension path and must
+// stay clean.
+type CatColumn struct {
+	Codes []uint32
+	Dict  []string
+}
+
+// extendCodes is the relation-side extension idiom: write into spare
+// capacity, republish. Clean — segguard exempts this package.
+func extendCodes(c *CatColumn, code uint32) {
+	c.Codes = append(c.Codes, code)
+	c.Codes[len(c.Codes)-1] = code
+	c.Dict[0] = c.Dict[0]
+}

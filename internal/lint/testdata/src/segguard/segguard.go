@@ -1,0 +1,78 @@
+// Package segguard fixtures the segment-page immutability boundary: outside
+// internal/relation a CatColumn's Codes/Dict slices are read-only views of
+// sealed, shared segment pages — writes, appends, and copies into them must
+// be flagged, plain reads never.
+package segguard
+
+// CatColumn mirrors the real dictionary-encoded column: Codes and Dict alias
+// backing arrays shared with every published snapshot of the relation.
+type CatColumn struct {
+	Codes []uint32
+	Dict  []string
+}
+
+// decode reads through both guarded fields. Clean: reads are the normal case.
+func decode(c *CatColumn, i int) string {
+	return c.Dict[c.Codes[i]]
+}
+
+// histogram ranges over a guarded field and slices it as a source. Clean.
+func histogram(c *CatColumn, lo, hi int) []int {
+	counts := make([]int, len(c.Dict))
+	for _, code := range c.Codes[lo:hi] {
+		counts[code]++
+	}
+	return counts
+}
+
+// snapshotCodes copies OUT of the page into a private buffer. Clean: the
+// guarded field is the copy source, not the destination.
+func snapshotCodes(c *CatColumn) []uint32 {
+	out := make([]uint32, len(c.Codes))
+	copy(out, c.Codes)
+	return out
+}
+
+// stompCode writes an element in place, tearing every reader sharing the
+// page. Finding.
+func stompCode(c *CatColumn) {
+	c.Codes[0] = 7 // want `write through CatColumn\.Codes outside internal/relation`
+}
+
+// bumpCode mutates through an IncDecStmt. Finding.
+func bumpCode(c *CatColumn, i int) {
+	c.Codes[i]++ // want `write through CatColumn\.Codes outside internal/relation`
+}
+
+// renameValue rewrites a dictionary entry, silently re-labelling every row
+// holding its code. Finding.
+func renameValue(c *CatColumn, code uint32) {
+	c.Dict[code] = "renamed" // want `write through CatColumn\.Dict outside internal/relation`
+}
+
+// rebindCodes swaps the column's page pointer out from under the relation.
+// Finding.
+func rebindCodes(c *CatColumn, codes []uint32) {
+	c.Codes = codes // want `write through CatColumn\.Codes outside internal/relation`
+}
+
+// growDict appends into the dictionary — with spare capacity this writes
+// into the sealed backing the relation reserved for its own extension path.
+// Finding.
+func growDict(c *CatColumn) []string {
+	return append(c.Dict, "extra") // want `append to CatColumn\.Dict outside internal/relation`
+}
+
+// overwritePrefix copies INTO a resliced page. Finding.
+func overwritePrefix(c *CatColumn, src []uint32) {
+	copy(c.Codes[:len(src)], src) // want `copy into CatColumn\.Codes outside internal/relation`
+}
+
+// privateColumn mutates a type that is not a guarded page carrier. Clean.
+type privateColumn struct {
+	Codes []uint32
+}
+
+func stompPrivate(p *privateColumn) {
+	p.Codes[0] = 1
+}

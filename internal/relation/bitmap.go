@@ -54,22 +54,34 @@ func (b *Bitmap) Count() int {
 	return c
 }
 
-// And intersects b with o in place and returns the resulting count. The two
-// bitmaps must share a universe size.
+// And intersects b with o in place and returns the resulting count. The
+// universes may differ by appended rows (conjunct bitmaps cached at
+// different generations): rows beyond o's universe are treated as not
+// matching o, so the intersection is exact over the shorter universe — the
+// consistent-prefix semantics Select needs when conjuncts raced an Append.
 func (b *Bitmap) And(o *Bitmap) int {
 	c := 0
-	for i, w := range o.words {
-		b.words[i] &= w
+	m := min(len(b.words), len(o.words))
+	for i := 0; i < m; i++ {
+		b.words[i] &= o.words[i]
 		c += bits.OnesCount64(b.words[i])
+	}
+	for i := m; i < len(b.words); i++ {
+		b.words[i] = 0
 	}
 	return c
 }
 
 // AndNot removes o's rows from b in place and returns the resulting count.
+// Rows beyond o's universe are kept (o does not claim them).
 func (b *Bitmap) AndNot(o *Bitmap) int {
 	c := 0
-	for i, w := range o.words {
-		b.words[i] &^= w
+	m := min(len(b.words), len(o.words))
+	for i := 0; i < m; i++ {
+		b.words[i] &^= o.words[i]
+		c += bits.OnesCount64(b.words[i])
+	}
+	for i := m; i < len(b.words); i++ {
 		c += bits.OnesCount64(b.words[i])
 	}
 	return c

@@ -19,16 +19,28 @@ import (
 //     row plus a sorted value table, so partitioning becomes integer
 //     counting-sort instead of string hashing.
 //
-// Projections are immutable snapshots, built lazily on first access (or
-// eagerly by BuildIndex/BuildColumns) and cached on the Relation. Appending
-// a row invalidates them together with the secondary indexes; the next
-// access rebuilds. Concurrent readers are safe: the cache is mutex-guarded
-// and the returned slices are never mutated after publication.
+// Maintenance is incremental (DESIGN.md §14): projections are immutable
+// snapshots published RCU-style, and appending rows no longer invalidates
+// them. A read against a stale projection extends it — new rows are encoded
+// into spare capacity beyond the published length (invisible to holders of
+// the older snapshot) and a longer snapshot is published. The sealed prefix
+// is never re-read; per-row maintenance cost is O(1) amortized instead of
+// the historical O(total rows) drop-and-rebuild. The one structural event
+// is a dictionary remap: when a categorical value never seen before
+// arrives, the sorted dictionary gains an entry and every code at or above
+// the insertion point shifts by the insert count — a pure integer rewrite
+// of the code array (no sealed row is re-read, no string is re-hashed),
+// bounded by the number of distinct values ever appended.
+//
+// Concurrent readers are safe: the cache is mutex-guarded, published
+// snapshots are cap-clamped so spare capacity is unreachable through them,
+// and a snapshot's visible elements are never written again.
 
 // CatColumn is the dictionary-encoded projection of one categorical
 // attribute. Codes[i] is the code of row i's value; Dict is sorted
 // ascending, so codes compare in lexicographic value order. Both slices are
-// shared snapshots — callers must not modify them.
+// shared snapshots — callers must not modify them (catlint's segguard
+// check enforces this outside internal/relation).
 type CatColumn struct {
 	Codes []uint32
 	Dict  []string
@@ -49,39 +61,72 @@ func (c *CatColumn) Code(v string) (uint32, bool) {
 	return 0, false
 }
 
-// columnCache holds the lazily-built projections of a Relation.
-type columnCache struct {
-	mu     sync.Mutex
-	cat    map[string]*CatColumn // keyed by lower-cased attribute name
-	num    map[string][]float64
-	sorted map[string]*numSorted
-	// identity is the cached full row list [0, 1, …, n-1] that Select(nil)
-	// and Browse return; a shared snapshot, never modified after build.
-	identity []int
+// catEntry is the cache slot of one categorical projection: the published
+// snapshot plus the full-capacity backing array the next extension appends
+// into. Invariant: e.backing[:len(e.col.Codes)] is e.col.Codes' data.
+type catEntry struct {
+	col     *CatColumn
+	backing []uint32
 }
 
-// identityRows returns the cached identity row list, building it on first
-// use. The returned slice is shared — callers must treat it as read-only.
+// numEntry is the cache slot of one numeric projection.
+type numEntry struct {
+	col     []float64
+	backing []float64
+}
+
+// columnCache holds the incrementally-maintained projections of a Relation.
+type columnCache struct {
+	mu     sync.Mutex
+	cat    map[string]*catEntry // keyed by lower-cased attribute name
+	num    map[string]*numEntry
+	sorted map[string]*numSorted
+	// identity is the cached full row list [0, 1, …, n-1] that Select(nil)
+	// and Browse return; extended in place (spare capacity) as rows append.
+	identity  []int
+	idBacking []int
+}
+
+// growCap sizes a backing array for n rows with headroom, so steady-state
+// appends extend in place instead of reallocating per row.
+func growCap(n int) int { return n + n/4 + 64 }
+
+// identityRows returns the cached identity row list, building or extending
+// it to the current row count. The returned slice is shared — callers must
+// treat it as read-only.
 func (r *Relation) identityRows() []int {
+	n := r.Len()
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
-	if r.cols.identity == nil {
-		id := make([]int, r.Len())
-		for i := range id {
-			id[i] = i
-		}
-		r.cols.identity = id
+	if len(r.cols.identity) == n {
+		return r.cols.identity
 	}
+	b := r.cols.idBacking
+	if cap(b) < n {
+		nb := make([]int, len(b), growCap(n))
+		copy(nb, b)
+		b = nb
+	}
+	for i := len(b); i < n; i++ {
+		b = append(b, i)
+	}
+	r.cols.idBacking = b
+	r.cols.identity = b[:n:n]
 	return r.cols.identity
 }
 
 // catColumnIfBuilt peeks the projection cache for column pos without
-// triggering a build.
+// triggering a full build; a projection that exists but lags appended rows
+// is extended so the returned snapshot always covers the current rows.
 func (r *Relation) catColumnIfBuilt(pos int) *CatColumn {
 	key := lower(r.schema.Attr(pos).Name)
+	rows := r.snapshot()
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
-	return r.cols.cat[key]
+	if r.cols.cat[key] == nil {
+		return nil
+	}
+	return r.catColumnLocked(key, pos, rows)
 }
 
 // numSorted is the whole relation ordered by one numeric attribute.
@@ -157,7 +202,10 @@ func sortValRows(pairs []valRow) {
 // attribute, with the parallel sorted values — the full-relation case of
 // SortByValue, built once and cached (browsing-mode categorization sorts
 // the entire result set at its root for every numeric candidate, on every
-// request). The returned slices are shared snapshots; callers must not
+// request). A cached permutation that lags appended rows is rebuilt from
+// the incrementally-extended column — a full re-sort, deliberately, so the
+// permutation (ties included) is bitwise what a cold build over the same
+// rows produces. The returned slices are shared snapshots; callers must not
 // modify them.
 func (r *Relation) NumSorted(attr string) (rows []int, vals []float64, err error) {
 	col, err := r.NumColumn(attr)
@@ -167,7 +215,7 @@ func (r *Relation) NumSorted(attr string) (rows []int, vals []float64, err error
 	key := lower(r.schema.Attr(mustPos(r.schema, attr)).Name)
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
-	if s, ok := r.cols.sorted[key]; ok {
+	if s, ok := r.cols.sorted[key]; ok && len(s.rows) == len(col) {
 		return s.rows, s.vals, nil
 	}
 	pairs := pairsFor(len(col))
@@ -194,8 +242,9 @@ func mustPos(s *Schema, attr string) int {
 }
 
 // CatColumn returns the dictionary-encoded projection of the named
-// categorical attribute, building and caching it on first use. It errors if
-// the attribute is missing or numeric.
+// categorical attribute, building it on first use and extending it over any
+// rows appended since the cached snapshot. It errors if the attribute is
+// missing or numeric.
 func (r *Relation) CatColumn(attr string) (*CatColumn, error) {
 	pos, ok := r.schema.Lookup(attr)
 	if !ok {
@@ -205,22 +254,115 @@ func (r *Relation) CatColumn(attr string) (*CatColumn, error) {
 		return nil, fmt.Errorf("relation %s: attribute %q is not categorical", r.Name, attr)
 	}
 	key := lower(r.schema.Attr(pos).Name)
+	rows := r.snapshot()
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
-	if c, ok := r.cols.cat[key]; ok {
-		return c, nil
+	return r.catColumnLocked(key, pos, rows), nil
+}
+
+// catColumnLocked builds or extends the categorical projection to cover
+// rows. Called with cols.mu held.
+func (r *Relation) catColumnLocked(key string, pos int, rows []Tuple) *CatColumn {
+	e := r.cols.cat[key]
+	if e == nil {
+		e = buildCatEntry(rows, pos)
+		if r.cols.cat == nil {
+			r.cols.cat = make(map[string]*catEntry)
+		}
+		r.cols.cat[key] = e
+		return e.col
 	}
-	c := r.buildCatColumn(pos)
-	if r.cols.cat == nil {
-		r.cols.cat = make(map[string]*CatColumn)
+	n0, n := len(e.col.Codes), len(rows)
+	if n0 == n {
+		return e.col
 	}
-	r.cols.cat[key] = c
-	return c, nil
+	// Collect values the sorted dictionary has never seen.
+	dict := e.col.Dict
+	var newVals []string
+	for i := n0; i < n; i++ {
+		v := rows[i][pos].Str
+		if _, ok := e.col.Code(v); ok {
+			continue
+		}
+		if j := sort.SearchStrings(newVals, v); j == len(newVals) || newVals[j] != v {
+			newVals = append(newVals, "")
+			copy(newVals[j+1:], newVals[j:])
+			newVals[j] = v
+		}
+	}
+	var ne *catEntry
+	if newVals == nil {
+		// Append-only extension: new codes land in spare capacity beyond the
+		// published length; holders of the older snapshot never see them.
+		backing := e.backing
+		if cap(backing) < n {
+			backing = make([]uint32, n0, growCap(n))
+			copy(backing, e.backing)
+		}
+		for i := n0; i < n; i++ {
+			c, _ := e.col.Code(rows[i][pos].Str)
+			backing = append(backing, c)
+		}
+		ne = &catEntry{col: &CatColumn{Codes: backing[:n:n], Dict: dict}, backing: backing}
+	} else {
+		// Dictionary remap: merge the new values into the sorted dictionary
+		// and shift existing codes past each insertion point. An integer
+		// rewrite of the code array — sealed rows are not re-read.
+		newDict := make([]string, 0, len(dict)+len(newVals))
+		shift := make([]uint32, len(dict))
+		i, j := 0, 0
+		for i < len(dict) || j < len(newVals) {
+			if j == len(newVals) || (i < len(dict) && dict[i] < newVals[j]) {
+				shift[i] = uint32(len(newDict))
+				newDict = append(newDict, dict[i])
+				i++
+			} else {
+				newDict = append(newDict, newVals[j])
+				j++
+			}
+		}
+		backing := make([]uint32, n, growCap(n))
+		for k, c := range e.backing[:n0] {
+			backing[k] = shift[c]
+		}
+		nc := &CatColumn{Codes: backing[:n:n], Dict: newDict}
+		for k := n0; k < n; k++ {
+			c, _ := nc.Code(rows[k][pos].Str)
+			backing[k] = c
+		}
+		ne = &catEntry{col: nc, backing: backing}
+	}
+	r.cols.cat[key] = ne
+	return ne.col
+}
+
+// buildCatEntry dictionary-encodes column pos from scratch, with spare
+// capacity for future extensions.
+func buildCatEntry(rows []Tuple, pos int) *catEntry {
+	codeOf := make(map[string]uint32, 64)
+	var dict []string
+	for _, row := range rows {
+		v := row[pos].Str
+		if _, ok := codeOf[v]; !ok {
+			codeOf[v] = 0
+			dict = append(dict, v)
+		}
+	}
+	sort.Strings(dict)
+	for i, v := range dict {
+		codeOf[v] = uint32(i)
+	}
+	n := len(rows)
+	backing := make([]uint32, n, growCap(n))
+	for i, row := range rows {
+		backing[i] = codeOf[row[pos].Str]
+	}
+	return &catEntry{col: &CatColumn{Codes: backing[:n:n], Dict: dict}, backing: backing}
 }
 
 // NumColumn returns the dense projection of the named numeric attribute,
-// building and caching it on first use. It errors if the attribute is
-// missing or categorical.
+// building it on first use and extending it over rows appended since the
+// cached snapshot. It errors if the attribute is missing or categorical.
 func (r *Relation) NumColumn(attr string) ([]float64, error) {
 	pos, ok := r.schema.Lookup(attr)
 	if !ok {
@@ -230,21 +372,35 @@ func (r *Relation) NumColumn(attr string) ([]float64, error) {
 		return nil, fmt.Errorf("relation %s: attribute %q is not numeric", r.Name, attr)
 	}
 	key := lower(r.schema.Attr(pos).Name)
+	rows := r.snapshot()
 	r.cols.mu.Lock()
 	defer r.cols.mu.Unlock()
-	if c, ok := r.cols.num[key]; ok {
-		return c, nil
+	e := r.cols.num[key]
+	n := len(rows)
+	if e != nil && len(e.col) == n {
+		return e.col, nil
 	}
-	rows := r.snapshot()
-	c := make([]float64, len(rows))
-	for i, row := range rows {
-		c[i] = row[pos].Num
+	var backing []float64
+	n0 := 0
+	if e != nil {
+		backing = e.backing
+		n0 = len(e.col)
+		if cap(backing) < n {
+			backing = make([]float64, n0, growCap(n))
+			copy(backing, e.backing)
+		}
+	} else {
+		backing = make([]float64, 0, growCap(n))
 	}
+	for i := n0; i < n; i++ {
+		backing = append(backing, rows[i][pos].Num)
+	}
+	ne := &numEntry{col: backing[:n:n], backing: backing}
 	if r.cols.num == nil {
-		r.cols.num = make(map[string][]float64)
+		r.cols.num = make(map[string]*numEntry)
 	}
-	r.cols.num[key] = c
-	return c, nil
+	r.cols.num[key] = ne
+	return ne.col, nil
 }
 
 // BuildColumns eagerly materializes projections for the named attributes
@@ -275,35 +431,15 @@ func (r *Relation) BuildColumns(attrs ...string) error {
 	return nil
 }
 
-// buildCatColumn dictionary-encodes column pos. Called with cols.mu held.
-func (r *Relation) buildCatColumn(pos int) *CatColumn {
-	rows := r.snapshot()
-	codeOf := make(map[string]uint32, 64)
-	var dict []string
-	for _, row := range rows {
-		v := row[pos].Str
-		if _, ok := codeOf[v]; !ok {
-			codeOf[v] = 0
-			dict = append(dict, v)
-		}
-	}
-	sort.Strings(dict)
-	for i, v := range dict {
-		codeOf[v] = uint32(i)
-	}
-	codes := make([]uint32, len(rows))
-	for i, row := range rows {
-		codes[i] = codeOf[row[pos].Str]
-	}
-	return &CatColumn{Codes: codes, Dict: dict}
-}
-
-// dropColumns invalidates all cached projections (rows changed).
+// dropColumns invalidates all cached projections. No longer on the Append
+// path (maintenance is incremental); retained as the drop-everything
+// baseline for the segment benchmarks and invalidation tests.
 func (r *Relation) dropColumns() {
 	r.cols.mu.Lock()
 	r.cols.cat = nil
 	r.cols.num = nil
 	r.cols.sorted = nil
 	r.cols.identity = nil
+	r.cols.idBacking = nil
 	r.cols.mu.Unlock()
 }

@@ -160,6 +160,13 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSVRecord emits one record in exactly the dialect WriteCSV produces,
+// so streaming writers (internal/datagen.StreamCSV) can emit byte-identical
+// output without materializing a relation.
+func WriteCSVRecord(w *bufio.Writer, fields []string) error {
+	return writeCSVRecord(w, fields)
+}
+
 // writeCSVRecord emits one RFC-4180 record.
 func writeCSVRecord(w *bufio.Writer, fields []string) error {
 	for i, f := range fields {

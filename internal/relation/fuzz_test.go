@@ -38,10 +38,12 @@ func FuzzReadCSV(f *testing.F) {
 }
 
 // FuzzVectorizedSelect is the vectorized engine's equivalence fuzz: random
-// schemas, random data (NaN, ±0, ±Inf included), and random conjunct sets
-// (empty IN lists, unknown attributes, type mismatches, NaN bounds) — the
-// vectorized Select must return exactly the same row ids as the naive
-// row-wise scan, cold and warm, with and without secondary indexes.
+// schemas, random data (NaN, ±0, ±Inf included), random segment sizes, and
+// random conjunct sets (empty IN lists, unknown attributes, type
+// mismatches, NaN bounds) — the vectorized Select must return exactly the
+// same row ids as the naive row-wise scan, cold and warm, with and without
+// secondary indexes, and across mid-run appends that seal segments and
+// force conjunct/projection/index extension.
 func FuzzVectorizedSelect(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(50), false)
 	f.Add(int64(2), uint8(1), uint8(0), true)
@@ -49,6 +51,11 @@ func FuzzVectorizedSelect(f *testing.F) {
 	f.Add(int64(-9), uint8(2), uint8(130), false)
 	f.Fuzz(func(t *testing.T, seed int64, nAttrs, nRows uint8, buildIndex bool) {
 		rng := rand.New(rand.NewSource(seed))
+		// Segment size and mid-run appends draw from their own stream so the
+		// main stream — and everything the checked-in corpus generates from
+		// it — is untouched.
+		segRng := rand.New(rand.NewSource(seed ^ 0x5e95e9))
+		segSizes := []int{1, 2, 63, 64, 100, DefaultSegmentRows}
 		attrs := make([]Attribute, 1+int(nAttrs)%4)
 		names := []string{"Alpha", "beta", "GAMMA", "dElTa"}
 		for i := range attrs {
@@ -59,10 +66,13 @@ func FuzzVectorizedSelect(f *testing.F) {
 			attrs[i] = Attribute{Name: names[i], Type: typ}
 		}
 		r := New("fuzz", MustSchema(attrs...))
+		if err := r.SetSegmentRows(segSizes[segRng.Intn(len(segSizes))]); err != nil {
+			t.Fatal(err)
+		}
 		catPalette := []string{"", "a", "b", "cc", "d'd", "Ee"}
 		numPalette := []float64{0, math.Copysign(0, -1), 1, -1, 2.5, 1e9, -1e9,
 			math.NaN(), math.Inf(1), math.Inf(-1), 41.99999999999999, 42}
-		for i := 0; i < int(nRows); i++ {
+		randTuple := func(rng *rand.Rand) Tuple {
 			tup := make(Tuple, len(attrs))
 			for j, a := range attrs {
 				if a.Type == Categorical {
@@ -71,7 +81,10 @@ func FuzzVectorizedSelect(f *testing.F) {
 					tup[j] = NumberValue(numPalette[rng.Intn(len(numPalette))])
 				}
 			}
-			r.MustAppend(tup)
+			return tup
+		}
+		for i := 0; i < int(nRows); i++ {
+			r.MustAppend(randTuple(rng))
 		}
 		if buildIndex {
 			if err := r.BuildIndex(); err != nil {
@@ -81,6 +94,14 @@ func FuzzVectorizedSelect(f *testing.F) {
 		attrPool := append([]string{}, names[:len(attrs)]...)
 		attrPool = append(attrPool, "missing")
 		for trial := 0; trial < 10; trial++ {
+			if trial > 0 && segRng.Intn(3) == 0 {
+				// Mid-run appends: cached conjunct bitmaps, projections, and
+				// indexes built by earlier trials must extend, and may cross a
+				// seal boundary.
+				for k := segRng.Intn(3) + 1; k > 0; k-- {
+					r.MustAppend(randTuple(segRng))
+				}
+			}
 			nConj := 1 + rng.Intn(4)
 			conjs := make([]Predicate, 0, nConj)
 			for c := 0; c < nConj; c++ {

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -27,9 +28,16 @@ type numIndex struct {
 // Relation.idx. Readers load the whole set once per operation and never
 // observe a half-built or half-dropped state; BuildIndex assembles a fresh
 // set privately and publishes it with a single atomic store.
+//
+// n records the row count the set covers. Append no longer drops indexes
+// (DESIGN.md §14): a set whose n lags the relation is extended on the next
+// indexed read — appended rows merge into copied runs while the sorted
+// sealed prefix is reused, never re-sorted — and the successor set is
+// published in its place.
 type indexSet struct {
 	cat map[string]catIndex
 	num map[string]*numIndex
+	n   int // rows covered by every index in the set
 }
 
 // indexes returns the current published index set, or nil when the relation
@@ -39,8 +47,9 @@ func (r *Relation) indexes() *indexSet { return r.idx.Load() }
 // BuildIndex builds secondary indexes on the named attributes (all
 // attributes when none are given), and materializes the columnar
 // projections (column.go) for the same attributes so the categorizer's hot
-// path never builds them lazily under load. Appending rows afterwards drops
-// all indexes and projections; rebuild when loading is done.
+// path never builds them lazily under load. Appending rows afterwards does
+// not drop them: indexes extend incrementally over the appended suffix on
+// the next indexed read.
 func (r *Relation) BuildIndex(attrs ...string) error {
 	if err := r.BuildColumns(attrs...); err != nil {
 		return err
@@ -56,8 +65,13 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 	rows := r.snapshot()
 	// Copy-on-write: extend a private clone of the current set, then publish
 	// the whole successor. Concurrent readers keep whichever set they loaded.
-	next := &indexSet{cat: make(map[string]catIndex), num: make(map[string]*numIndex)}
+	// A clone lagging the row count is brought current first, so attributes
+	// not being rebuilt keep full coverage under the successor's stamp.
+	next := &indexSet{cat: make(map[string]catIndex), num: make(map[string]*numIndex), n: len(rows)}
 	if cur := r.indexes(); cur != nil {
+		if cur.n < len(rows) {
+			cur = extendIndexSet(cur, rows, r.schema)
+		}
 		for k, v := range cur.cat {
 			next.cat[k] = v
 		}
@@ -80,23 +94,7 @@ func (r *Relation) BuildIndex(attrs ...string) error {
 			next.cat[lower(key)] = idx
 			continue
 		}
-		idx := &numIndex{vals: make([]float64, len(rows)), rows: make([]int, len(rows))}
-		order := make([]int, len(rows))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return rows[order[a]][pos].Num < rows[order[b]][pos].Num
-		})
-		for k, i := range order {
-			v := rows[i][pos].Num
-			idx.vals[k] = v
-			idx.rows[k] = i
-			if v != v {
-				idx.hasNaN = true
-			}
-		}
-		next.num[lower(key)] = idx
+		next.num[lower(key)] = rebuildNumIndex(rows, pos)
 	}
 	r.idx.Store(next)
 	return nil
@@ -116,18 +114,165 @@ func (r *Relation) Indexed(attr string) bool {
 	return ok
 }
 
-// dropIndexes invalidates all secondary indexes (rows changed). Called with
-// r.mu held by the mutating writer.
+// dropIndexes invalidates all secondary indexes. No longer on the Append
+// path (stale sets extend instead); retained as the drop-everything
+// baseline for the segment benchmarks.
 func (r *Relation) dropIndexes() {
 	r.idx.Store(nil)
+}
+
+// currentIndexes returns the published index set brought current with the
+// row count: a set lagging appended rows is extended — sorted runs merged
+// with the suffix, sealed prefix reused — and the successor published.
+// Returns nil when the relation was never indexed.
+func (r *Relation) currentIndexes() *indexSet {
+	set := r.indexes()
+	if set == nil || set.n >= r.Len() {
+		return set
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set = r.indexes()
+	rows := r.snapshot()
+	if set == nil || set.n >= len(rows) {
+		return set
+	}
+	next := extendIndexSet(set, rows, r.schema)
+	r.idx.Store(next)
+	return next
+}
+
+// extendIndexSet returns a successor of set covering all of rows. Shared
+// structure is reused copy-on-write: categorical value lists gaining rows
+// are copied-then-appended (row ids grow monotonically, so order is
+// preserved); numeric indexes sort only the suffix and merge it with the
+// existing run. Holders of the old set are unaffected.
+func extendIndexSet(set *indexSet, rows []Tuple, schema *Schema) *indexSet {
+	n0, n := set.n, len(rows)
+	next := &indexSet{
+		cat: make(map[string]catIndex, len(set.cat)),
+		num: make(map[string]*numIndex, len(set.num)),
+		n:   n,
+	}
+	for key, old := range set.cat {
+		pos, ok := schema.Lookup(key)
+		if !ok {
+			next.cat[key] = old
+			continue
+		}
+		idx := make(catIndex, len(old)+8)
+		for v, l := range old {
+			idx[v] = l
+		}
+		touched := make(map[string]bool, 8)
+		for i := n0; i < n; i++ {
+			v := rows[i][pos].Str
+			if !touched[v] {
+				// First touch in this extension: copy the shared list before
+				// appending to it.
+				l := idx[v]
+				nl := make([]int, len(l), len(l)+(n-n0)/4+4)
+				copy(nl, l)
+				idx[v] = nl
+				touched[v] = true
+			}
+			idx[v] = append(idx[v], i)
+		}
+		next.cat[key] = idx
+	}
+	for key, old := range set.num {
+		pos, ok := schema.Lookup(key)
+		if !ok {
+			next.num[key] = old
+			continue
+		}
+		next.num[key] = extendNumIndex(old, rows, pos, n0)
+	}
+	return next
+}
+
+// extendNumIndex merges the sorted (value, row) suffix into an existing
+// sorted run. The merge prefers the existing run on equal values, so ties
+// stay in ascending row order — the same placement the full stable rebuild
+// produces. A NaN anywhere falls back to the full rebuild: NaN breaks the
+// total order a merge assumes, and a hasNaN index is skipped by the range
+// paths regardless.
+func extendNumIndex(old *numIndex, rows []Tuple, pos, n0 int) *numIndex {
+	n := len(rows)
+	suffixNaN := false
+	pairs := make([]valRow, n-n0)
+	for j := range pairs {
+		v := rows[n0+j][pos].Num
+		if v != v {
+			suffixNaN = true
+			break
+		}
+		pairs[j] = valRow{v: v, row: int32(n0 + j)}
+	}
+	if old.hasNaN || suffixNaN || n > int(int32max) {
+		return rebuildNumIndex(rows, pos)
+	}
+	slices.SortStableFunc(pairs, func(a, b valRow) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case b.v < a.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	idx := &numIndex{vals: make([]float64, n), rows: make([]int, n)}
+	i, j, k := 0, 0, 0
+	for i < len(old.vals) && j < len(pairs) {
+		if old.vals[i] <= pairs[j].v {
+			idx.vals[k], idx.rows[k] = old.vals[i], old.rows[i]
+			i++
+		} else {
+			idx.vals[k], idx.rows[k] = pairs[j].v, int(pairs[j].row)
+			j++
+		}
+		k++
+	}
+	for ; i < len(old.vals); i, k = i+1, k+1 {
+		idx.vals[k], idx.rows[k] = old.vals[i], old.rows[i]
+	}
+	for ; j < len(pairs); j, k = j+1, k+1 {
+		idx.vals[k], idx.rows[k] = pairs[j].v, int(pairs[j].row)
+	}
+	return idx
+}
+
+const int32max = 1<<31 - 1
+
+// rebuildNumIndex is the from-scratch numeric index build BuildIndex uses.
+func rebuildNumIndex(rows []Tuple, pos int) *numIndex {
+	idx := &numIndex{vals: make([]float64, len(rows)), rows: make([]int, len(rows))}
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rows[order[a]][pos].Num < rows[order[b]][pos].Num
+	})
+	for k, i := range order {
+		v := rows[i][pos].Num
+		idx.vals[k] = v
+		idx.rows[k] = i
+		if v != v {
+			idx.hasNaN = true
+		}
+	}
+	return idx
 }
 
 // candidates returns a sorted row-id list guaranteed to contain every row
 // matching pred, using an index on one of pred's conjuncts, or ok=false
 // when no indexed conjunct applies. The index set is loaded once so every
-// conjunct is answered against the same snapshot.
+// conjunct is answered against the same snapshot; a set lagging appended
+// rows is extended first, so candidates always cover the current rows.
 func (r *Relation) candidates(pred Predicate) (list []int, ok bool) {
-	set := r.indexes()
+	set := r.currentIndexes()
 	if set == nil {
 		return nil, false
 	}

@@ -57,16 +57,86 @@ func TestIndexedFlag(t *testing.T) {
 	}
 }
 
-func TestAppendDropsIndexes(t *testing.T) {
+func TestAppendExtendsIndexes(t *testing.T) {
 	r := indexedRelation(t, 20)
 	r.MustAppend(Tuple{StringValue("Bellevue, WA"), NumberValue(250000), NumberValue(3)})
-	if r.Indexed("price") {
-		t.Fatal("Append must invalidate indexes")
+	if !r.Indexed("price") {
+		t.Fatal("Append must keep indexes for incremental extension")
 	}
-	// Select must still be correct without indexes.
+	// Select must cover the appended row through the extended index.
 	got := r.Select(NewIn("neighborhood", "Bellevue, WA"))
 	if len(got) == 0 || got[len(got)-1] != r.Len()-1 {
 		t.Fatalf("post-append select missed the new row: %v", got)
+	}
+	// The candidate machinery itself must see the appended row once the set
+	// is brought current.
+	set := r.currentIndexes()
+	if set == nil || set.n != r.Len() {
+		t.Fatalf("index set not extended to %d rows", r.Len())
+	}
+	cands, ok := set.catCandidates(NewIn("neighborhood", "Bellevue, WA"))
+	if !ok || len(cands) == 0 || cands[len(cands)-1] != r.Len()-1 {
+		t.Fatalf("extended cat index missed the new row: %v", cands)
+	}
+	nc, ok := set.numCandidates(NewClosedRange("price", 250000, 250000))
+	if !ok {
+		t.Fatal("numeric index missing after extension")
+	}
+	found := false
+	for _, i := range nc {
+		found = found || i == r.Len()-1
+	}
+	if !found {
+		t.Fatalf("extended num index missed the new row: %v", nc)
+	}
+}
+
+// TestExtendedIndexMatchesRebuild pins merge-extension ≡ from-scratch
+// rebuild: after interleaved appends (duplicate values included, forcing
+// tie handling), the extended numeric index must hold exactly the arrays a
+// cold BuildIndex produces, and the cat index the same value lists.
+func TestExtendedIndexMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func() Tuple {
+		hoods := []string{"Bellevue, WA", "Redmond, WA", "Seattle, WA"}
+		return Tuple{
+			StringValue(hoods[rng.Intn(len(hoods))]),
+			NumberValue(float64(200000 + rng.Intn(8)*5000)), // few distinct values: many ties
+			NumberValue(float64(1 + rng.Intn(4))),
+		}
+	}
+	ext := indexedRelation(t, 50)
+	fresh := relationOfSize(50, 7)
+	for i := 0; i < 75; i++ {
+		row := mk()
+		ext.MustAppend(row)
+		fresh.MustAppend(row)
+		if i%13 == 0 {
+			// Interleave reads so extension happens in several batches.
+			ext.Select(NewRange("price", 205000, 230000))
+		}
+	}
+	if err := fresh.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := ext.currentIndexes(), fresh.currentIndexes()
+	if a.n != b.n {
+		t.Fatalf("coverage %d != %d", a.n, b.n)
+	}
+	for key, bi := range b.num {
+		ai := a.num[key]
+		if ai == nil {
+			t.Fatalf("extended set missing numeric index %q", key)
+		}
+		if !reflect.DeepEqual(ai.vals, bi.vals) || !reflect.DeepEqual(ai.rows, bi.rows) || ai.hasNaN != bi.hasNaN {
+			t.Fatalf("numeric index %q diverged from rebuild", key)
+		}
+	}
+	for key, bi := range b.cat {
+		ai := a.cat[key]
+		if !reflect.DeepEqual(map[string][]int(ai), map[string][]int(bi)) {
+			t.Fatalf("cat index %q diverged from rebuild", key)
+		}
 	}
 }
 

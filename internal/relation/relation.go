@@ -152,8 +152,13 @@ type Relation struct {
 	// behind an atomic pointer; nil means "not indexed".
 	idx atomic.Pointer[indexSet]
 
-	// Cached columnar projections (see column.go); invalidated on Append.
+	// Cached columnar projections (see column.go); maintained incrementally
+	// across Appends — sealed spans are never rebuilt.
 	cols columnCache
+
+	// Segmented-storage state (see segment.go): the sealed-segment list and
+	// the storage counters behind healthz's "storage" block.
+	seg segState
 
 	// Vectorized selection state (see vselect.go): the bounded
 	// conjunct-bitmap cache and the selection counters.
@@ -194,6 +199,13 @@ func (r *Relation) Row(i int) Tuple { return r.snapshot()[i] }
 // Categorize, the column builders): the new row lands in spare capacity
 // beyond the published length — invisible to holders of the old snapshot —
 // and then a new slice header is published atomically.
+//
+// Append only touches the active tail of the segmented store (segment.go):
+// it bumps the data generation and seals any segment spans the tail now
+// covers. Nothing derived is invalidated — columnar projections, cached
+// conjunct bitmaps, and secondary indexes all extend over just the appended
+// rows on their next read (column.go, vselect.go, index.go), so per-row
+// maintenance cost is independent of the total row count.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != r.schema.Len() {
 		return fmt.Errorf("relation %s: tuple has %d cells, schema has %d", r.Name, len(t), r.schema.Len())
@@ -202,9 +214,7 @@ func (r *Relation) Append(t Tuple) error {
 	rows := append(r.snapshot(), t)
 	r.rows.Store(&rows)
 	r.dataGen.Add(1)
-	r.dropIndexes() // stale after mutation; rebuild with BuildIndex
-	r.dropColumns()
-	r.dropConjuncts()
+	r.maybeSeal(len(rows))
 	r.mu.Unlock()
 	return nil
 }
@@ -261,6 +271,11 @@ func (r *Relation) scanSelect(pred Predicate) []int {
 	if cands, ok := r.candidates(pred); ok {
 		out := make([]int, 0, len(cands))
 		for _, i := range cands {
+			if i >= len(rows) {
+				// The index extension raced an Append past our snapshot;
+				// candidates are sorted, so everything after is newer too.
+				break
+			}
 			if pred.Matches(r.schema, rows[i]) {
 				out = append(out, i)
 			}

@@ -28,11 +28,21 @@ type Shard struct {
 // near-equal size (the first len%n spans get one extra row). n is clamped to
 // at least 1; n larger than the row count yields empty trailing shards,
 // which are valid views selecting nothing.
+//
+// At segment scale — every shard spanning at least alignMinSegments sealed
+// segments — the near-equal cuts snap to segment boundaries, so each shard
+// reads whole segment-local column pages and zone-map spans with zero
+// re-slicing. Each cut moves at most half a segment, so a shard's size
+// skews by at most one segment — a ≤ 1/alignMinSegments imbalance; below
+// that scale the historical near-equal split is kept unchanged (pinned by
+// TestShardSpans).
 func (r *Relation) Shards(n int) []Shard {
 	if n < 1 {
 		n = 1
 	}
 	total := r.Len()
+	segRows := r.segmentRows()
+	align := n > 1 && segRows > 0 && total/n >= segRows*alignMinSegments
 	out := make([]Shard, n)
 	lo := 0
 	for i := 0; i < n; i++ {
@@ -40,9 +50,16 @@ func (r *Relation) Shards(n int) []Shard {
 		if i < total%n {
 			hi++
 		}
+		if align && i < n-1 {
+			// Snap to the nearest segment boundary, staying monotone and
+			// inside [lo, total].
+			hi = (hi + segRows/2) / segRows * segRows
+			hi = max(min(hi, total), lo)
+		}
 		out[i] = Shard{rel: r, Lo: lo, Hi: hi}
 		lo = hi
 	}
+	out[n-1].Hi = total
 	return out
 }
 

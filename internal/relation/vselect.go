@@ -31,8 +31,15 @@ import (
 // internal/sqlparse uses for query signatures — see SigNum), so distinct
 // queries sharing a conjunct — the star-schema workload pattern the paper
 // targets — reuse its bitmap. Entries are stamped with the relation's data
-// generation and the whole cache is dropped on Append, mirroring how the
-// serving path's tree cache is invalidated by generation stamping.
+// generation; an entry whose stamp lags the current generation is not
+// dropped but *extended* — the builder copies its words and evaluates only
+// the rows appended since (DESIGN.md §14), so append churn costs O(new
+// rows) per cached conjunct instead of a full rebuild.
+//
+// Before scanning, the builders consult the sealed segments' zone maps
+// (zonemap.go): a sealed segment whose summary proves no row can match the
+// conjunct is skipped outright, and the surviving spans are scanned with
+// word-aligned OR kernels.
 //
 // Predicate shapes the engine does not understand (anything beyond
 // And/In/Range/True) fall back to the row-wise scan, so results are always
@@ -63,10 +70,12 @@ type SelectStats struct {
 	// SelectNanos is the cumulative wall time spent inside Select.
 	SelectNanos uint64 `json:"selectNanos"`
 	// ConjunctHits / ConjunctMisses count conjunct-bitmap cache lookups;
-	// ConjunctEntries is the cache's current occupancy.
-	ConjunctHits    uint64 `json:"conjunctHits"`
-	ConjunctMisses  uint64 `json:"conjunctMisses"`
-	ConjunctEntries int    `json:"conjunctEntries"`
+	// ConjunctExtended counts lookups that found a stale entry and extended
+	// it over appended rows; ConjunctEntries is the cache's occupancy.
+	ConjunctHits     uint64 `json:"conjunctHits"`
+	ConjunctMisses   uint64 `json:"conjunctMisses"`
+	ConjunctExtended uint64 `json:"conjunctExtended"`
+	ConjunctEntries  int    `json:"conjunctEntries"`
 }
 
 // vselState is the vectorized engine's per-relation mutable state: the
@@ -82,12 +91,13 @@ type vselState struct {
 	nanos      atomic.Uint64
 	hits       atomic.Uint64
 	misses     atomic.Uint64
+	extended   atomic.Uint64
 }
 
 // conjEntry is one cached conjunct bitmap. gen stamps the relation data
-// generation the bitmap was built against; a stale stamp is treated as a
-// miss even if the entry survived (it cannot, in practice: Append drops the
-// whole cache, but the stamp keeps the invariant local).
+// generation the bitmap was built against; a stale stamp means rows were
+// appended since — the entry's bitmap then seeds an extension build that
+// evaluates only the rows past its coverage.
 type conjEntry struct {
 	sig   string
 	bm    *Bitmap
@@ -98,12 +108,13 @@ type conjEntry struct {
 // SelectStats returns a snapshot of the selection counters.
 func (r *Relation) SelectStats() SelectStats {
 	s := SelectStats{
-		Selects:        r.vsel.selects.Load(),
-		Vectorized:     r.vsel.vectorized.Load(),
-		Fallback:       r.vsel.fallback.Load(),
-		SelectNanos:    r.vsel.nanos.Load(),
-		ConjunctHits:   r.vsel.hits.Load(),
-		ConjunctMisses: r.vsel.misses.Load(),
+		Selects:          r.vsel.selects.Load(),
+		Vectorized:       r.vsel.vectorized.Load(),
+		Fallback:         r.vsel.fallback.Load(),
+		SelectNanos:      r.vsel.nanos.Load(),
+		ConjunctHits:     r.vsel.hits.Load(),
+		ConjunctMisses:   r.vsel.misses.Load(),
+		ConjunctExtended: r.vsel.extended.Load(),
 	}
 	r.vsel.mu.Lock()
 	if r.vsel.ll != nil {
@@ -119,7 +130,9 @@ func (r *Relation) SelectStats() SelectStats {
 // from.
 func (r *Relation) DataGeneration() uint64 { return r.dataGen.Load() }
 
-// dropConjuncts empties the conjunct-bitmap cache (rows changed).
+// dropConjuncts empties the conjunct-bitmap cache. No longer on the Append
+// path (stale entries extend instead); retained as the drop-everything
+// baseline for the segment benchmarks and invalidation tests.
 func (r *Relation) dropConjuncts() {
 	r.vsel.mu.Lock()
 	if r.vsel.ll != nil {
@@ -224,45 +237,51 @@ func (r *Relation) conjunctBitmap(c Predicate) (e *conjEntry, supported bool) {
 	default:
 		return nil, false
 	}
+	// The generation is read BEFORE the column snapshot inside the builder:
+	// if an Append races the build, the entry is stamped with the older
+	// generation and the next lookup extends it again (a cheap no-op when
+	// the bitmap already covers the rows). Stamping after the snapshot could
+	// publish a fresh-looking entry missing rows.
 	gen := r.dataGen.Load()
-	if e := r.cachedConjunct(sig, gen); e != nil {
-		return e, true
+	prevE := r.lookupConjunct(sig)
+	if prevE != nil && prevE.gen == gen {
+		r.vsel.hits.Add(1)
+		return prevE, true
+	}
+	var prev *Bitmap
+	if prevE != nil {
+		prev = prevE.bm
+		r.vsel.extended.Add(1)
+	} else {
+		r.vsel.misses.Add(1)
 	}
 	var bm *Bitmap
 	switch p := c.(type) {
 	case *In:
-		bm = r.buildInBitmap(p)
+		bm = r.buildInBitmap(p, prev)
 	case *Range:
-		bm = r.buildRangeBitmap(p)
+		bm = r.buildRangeBitmap(p, prev)
 	}
 	e = &conjEntry{sig: sig, bm: bm, count: bm.Count(), gen: gen}
 	r.insertConjunct(e)
 	return e, true
 }
 
-// cachedConjunct looks the signature up in the LRU, refreshing recency.
-func (r *Relation) cachedConjunct(sig string, gen uint64) *conjEntry {
+// lookupConjunct returns the signature's entry regardless of generation
+// staleness (the caller decides between hit, extension, and miss),
+// refreshing LRU recency.
+func (r *Relation) lookupConjunct(sig string) *conjEntry {
 	r.vsel.mu.Lock()
 	defer r.vsel.mu.Unlock()
 	if r.vsel.table == nil {
-		r.vsel.misses.Add(1)
 		return nil
 	}
 	el, ok := r.vsel.table[sig]
 	if !ok {
-		r.vsel.misses.Add(1)
-		return nil
-	}
-	e := el.Value.(*conjEntry)
-	if e.gen != gen {
-		r.vsel.ll.Remove(el)
-		delete(r.vsel.table, sig)
-		r.vsel.misses.Add(1)
 		return nil
 	}
 	r.vsel.ll.MoveToFront(el)
-	r.vsel.hits.Add(1)
-	return e
+	return el.Value.(*conjEntry)
 }
 
 // insertConjunct stores a freshly built entry, evicting from the cold end
@@ -288,17 +307,33 @@ func (r *Relation) insertConjunct(e *conjEntry) {
 	}
 }
 
+// seedExtension copies prev's words into bm and returns the first row the
+// build must evaluate: 0 for a cold build, prev's coverage for an
+// extension. prev's universe never exceeds bm's (rows are only appended),
+// but a racing seal makes the guard cheap insurance.
+func seedExtension(bm, prev *Bitmap) int {
+	if prev == nil || prev.n > bm.n {
+		return 0
+	}
+	copy(bm.words, prev.words)
+	return prev.n
+}
+
 // buildInBitmap evaluates an IN conjunct over the dictionary-coded column:
 // member strings resolve to codes once (binary search in the sorted value
-// table), then one pass over the code column tests membership in a
-// dict-sized bitset — no string hashing per row.
-func (r *Relation) buildInBitmap(p *In) *Bitmap {
+// table), then a pass over the code column tests membership in a dict-sized
+// bitset — no string hashing per row. With a prev bitmap, only rows past
+// its coverage are evaluated (a member-value verdict never changes for a
+// sealed row, and dictionary remaps renumber codes, not values). Sealed
+// segments whose zone map contains no member value are skipped.
+func (r *Relation) buildInBitmap(p *In, prev *Bitmap) *Bitmap {
 	col, err := r.CatColumn(p.Attr)
 	if err != nil {
 		// Unreachable: the caller validated the attribute.
 		return NewBitmap(r.Len())
 	}
 	bm := NewBitmap(len(col.Codes))
+	start := seedExtension(bm, prev)
 	if len(p.Values) == 0 {
 		return bm
 	}
@@ -313,50 +348,65 @@ func (r *Relation) buildInBitmap(p *In) *Bitmap {
 	if !any {
 		return bm
 	}
-	codes := col.Codes
-	chunkScan(len(codes), func(lo, hi int) {
-		for base := lo; base < hi; base += 64 {
-			end := min(base+64, hi)
-			var w uint64
-			for i := base; i < end; i++ {
-				c := codes[i]
-				w |= (memberCodes[c>>6] >> (c & 63) & 1) << (uint(i) & 63)
-			}
-			bm.words[base>>6] = w
-		}
+	members := p.SortedValues()
+	key := lower(p.Attr)
+	spans := r.zoneSpans(start, len(col.Codes), func(seg *segment) bool {
+		return seg.catZone(key, col).canMatchIn(members)
 	})
+	codes := col.Codes
+	for _, sp := range spans {
+		scanSpan(sp.lo, sp.hi, func(a, b int) {
+			for i := a; i < b; {
+				wi := i >> 6
+				end := min((wi+1)<<6, b)
+				var w uint64
+				for ; i < end; i++ {
+					c := codes[i]
+					w |= (memberCodes[c>>6] >> (c & 63) & 1) << (uint(i) & 63)
+				}
+				bm.words[wi] |= w
+			}
+		})
+	}
 	return bm
 }
 
-// buildRangeBitmap evaluates a Range conjunct. When a sorted secondary
-// index exists, the column is NaN-free, the bounds are well-ordered, and
-// the interval is selective, two binary searches slice the index and the
-// covered rows are set directly; otherwise one dense pass over the
-// []float64 column replicates Range.Matches' comparisons exactly (NaN
-// values and NaN bounds included).
-func (r *Relation) buildRangeBitmap(p *Range) *Bitmap {
-	var idx *numIndex
-	if set := r.indexes(); set != nil {
-		idx = set.num[lower(p.Attr)]
-	}
-	if idx != nil && !idx.hasNaN &&
-		!math.IsNaN(p.Lo) && !math.IsNaN(p.Hi) {
-		lo := sort.SearchFloat64s(idx.vals, p.Lo)
-		var hi int
-		if p.HiInc {
-			hi = sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] > p.Hi })
-		} else {
-			hi = sort.SearchFloat64s(idx.vals, p.Hi)
+// buildRangeBitmap evaluates a Range conjunct. On a cold build, when a
+// sorted secondary index exists, the column is NaN-free, the bounds are
+// well-ordered, and the interval is selective, two binary searches slice
+// the index and the covered rows are set directly. Otherwise the dense
+// []float64 column is scanned, replicating Range.Matches' comparisons
+// exactly (NaN values and NaN bounds included) — skipping sealed segments
+// whose min/max zone proves no row can match, and, with a prev bitmap,
+// evaluating only rows past its coverage.
+func (r *Relation) buildRangeBitmap(p *Range, prev *Bitmap) *Bitmap {
+	if prev == nil {
+		var idx *numIndex
+		// Peek only: an index set lagging appended rows would slice to a
+		// short universe, so the dense path takes over until candidates (or
+		// BuildIndex) brings the set current.
+		if set := r.indexes(); set != nil && set.n >= r.Len() {
+			idx = set.num[lower(p.Attr)]
 		}
-		if hi < lo {
-			hi = lo
-		}
-		if (hi-lo)*sortedIndexMaxFrac <= len(idx.vals) {
-			bm := NewBitmap(len(idx.vals))
-			for _, row := range idx.rows[lo:hi] {
-				bm.Set(row)
+		if idx != nil && !idx.hasNaN &&
+			!math.IsNaN(p.Lo) && !math.IsNaN(p.Hi) {
+			lo := sort.SearchFloat64s(idx.vals, p.Lo)
+			var hi int
+			if p.HiInc {
+				hi = sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] > p.Hi })
+			} else {
+				hi = sort.SearchFloat64s(idx.vals, p.Hi)
 			}
-			return bm
+			if hi < lo {
+				hi = lo
+			}
+			if (hi-lo)*sortedIndexMaxFrac <= len(idx.vals) {
+				bm := NewBitmap(len(idx.vals))
+				for _, row := range idx.rows[lo:hi] {
+					bm.Set(row)
+				}
+				return bm
+			}
 		}
 	}
 	col, err := r.NumColumn(p.Attr)
@@ -365,30 +415,38 @@ func (r *Relation) buildRangeBitmap(p *Range) *Bitmap {
 		return NewBitmap(r.Len())
 	}
 	bm := NewBitmap(len(col))
+	start := seedExtension(bm, prev)
 	pLo, pHi, hiInc := p.Lo, p.Hi, p.HiInc
-	chunkScan(len(col), func(a, b int) {
-		for base := a; base < b; base += 64 {
-			end := min(base+64, b)
-			var w uint64
-			if hiInc {
-				for i := base; i < end; i++ {
-					v := col[i]
-					// Exactly Range.Matches: !(v < Lo) && v <= Hi.
-					if !(v < pLo) && v <= pHi {
-						w |= 1 << (uint(i) & 63)
-					}
-				}
-			} else {
-				for i := base; i < end; i++ {
-					v := col[i]
-					if !(v < pLo) && v < pHi {
-						w |= 1 << (uint(i) & 63)
-					}
-				}
-			}
-			bm.words[base>>6] = w
-		}
+	key := lower(p.Attr)
+	spans := r.zoneSpans(start, len(col), func(seg *segment) bool {
+		return seg.numZone(key, col).canMatchRange(pLo, pHi, hiInc)
 	})
+	for _, sp := range spans {
+		scanSpan(sp.lo, sp.hi, func(a, b int) {
+			for i := a; i < b; {
+				wi := i >> 6
+				end := min((wi+1)<<6, b)
+				var w uint64
+				if hiInc {
+					for ; i < end; i++ {
+						v := col[i]
+						// Exactly Range.Matches: !(v < Lo) && v <= Hi.
+						if !(v < pLo) && v <= pHi {
+							w |= 1 << (uint(i) & 63)
+						}
+					}
+				} else {
+					for ; i < end; i++ {
+						v := col[i]
+						if !(v < pLo) && v < pHi {
+							w |= 1 << (uint(i) & 63)
+						}
+					}
+				}
+				bm.words[wi] |= w
+			}
+		})
+	}
 	return bm
 }
 
@@ -412,6 +470,34 @@ func chunkScan(n int, fn func(lo, hi int)) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// scanSpan is chunkScan over an arbitrary window [a, b): sequential below
+// the parallel threshold, otherwise split at *absolute* multiples of 64 so
+// concurrent chunks never share a bitmap word even when a is mid-word (an
+// extension build starts at the previous bitmap's coverage).
+func scanSpan(a, b int, fn func(lo, hi int)) {
+	if a >= b {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if b-a < parallelScanRows || workers <= 1 {
+		fn(a, b)
+		return
+	}
+	words := (b - a + 63) >> 6
+	chunk := (words + workers - 1) / workers << 6
+	var wg sync.WaitGroup
+	for lo := a; lo < b; {
+		hi := min((lo&^63)+chunk, b)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
 	}
 	wg.Wait()
 }

@@ -210,11 +210,12 @@ func TestConjunctCacheHitMissEviction(t *testing.T) {
 	}
 }
 
-// TestAppendInvalidatesEverything is the invalidation regression test:
-// Append after BuildIndex/BuildColumns must drop projections, indexes, the
-// identity list, and cached conjunct bitmaps, bump the data generation, and
-// a rebuilt relation must serve exactly-correct results.
-func TestAppendInvalidatesEverything(t *testing.T) {
+// TestAppendExtendsEverything is the incremental-maintenance regression
+// test (DESIGN.md §14): Append must bump the data generation but must NOT
+// drop projections, indexes, the identity list, or cached conjunct bitmaps
+// — every derived artifact extends over just the appended rows on its next
+// read, and results stay exactly correct.
+func TestAppendExtendsEverything(t *testing.T) {
 	r := relationOfSize(120, 9)
 	if err := r.BuildIndex(); err != nil {
 		t.Fatal(err)
@@ -228,7 +229,8 @@ func TestAppendInvalidatesEverything(t *testing.T) {
 		t.Fatal("identity list not cached between calls")
 	}
 	r.Select(pred) // populate the conjunct cache
-	if s := r.SelectStats(); s.ConjunctEntries == 0 {
+	entries := r.SelectStats().ConjunctEntries
+	if entries == 0 {
 		t.Fatal("conjunct cache empty after select")
 	}
 	gen := r.DataGeneration()
@@ -238,26 +240,38 @@ func TestAppendInvalidatesEverything(t *testing.T) {
 	if r.DataGeneration() != gen+1 {
 		t.Fatalf("data generation %d, want %d", r.DataGeneration(), gen+1)
 	}
-	if r.Indexed("price") || r.Indexed("neighborhood") {
-		t.Fatal("Append must drop secondary indexes")
+	if !r.Indexed("price") || !r.Indexed("neighborhood") {
+		t.Fatal("Append must not drop secondary indexes")
 	}
-	if r.catColumnIfBuilt(0) != nil {
-		t.Fatal("Append must drop columnar projections")
+	col := r.catColumnIfBuilt(0)
+	if col == nil {
+		t.Fatal("Append must not drop columnar projections")
 	}
-	if s := r.SelectStats(); s.ConjunctEntries != 0 {
-		t.Fatalf("Append must drop conjunct bitmaps, have %d", s.ConjunctEntries)
+	if len(col.Codes) != 121 {
+		t.Fatalf("projection not extended over the appended row: %d codes", len(col.Codes))
+	}
+	if s := r.SelectStats(); s.ConjunctEntries != entries {
+		t.Fatalf("Append must keep conjunct bitmaps for extension: %d entries, want %d", s.ConjunctEntries, entries)
 	}
 	id2 := r.Select(nil)
 	if len(id2) != 121 || id2[120] != 120 {
-		t.Fatalf("identity not rebuilt after Append: len=%d", len(id2))
+		t.Fatalf("identity not extended after Append: len=%d", len(id2))
 	}
-	// Correctness after the mutation, on both the lazily-rebuilt columnar
-	// path and a freshly rebuilt index.
+	if &id[0] != &id2[0] {
+		t.Fatal("identity extension should reuse the backing array in place")
+	}
+	// Correctness after the mutation: the cached conjuncts must extend (not
+	// rebuild, not miss) and cover the appended matching row.
 	want := selectReference(r, pred)
 	if want[len(want)-1] != 120 {
 		t.Fatal("test setup: appended row should match the predicate")
 	}
+	ext := r.SelectStats().ConjunctExtended
 	sameRows(t, r.Select(pred), want, "post-append")
+	if s := r.SelectStats(); s.ConjunctExtended != ext+2 {
+		t.Fatalf("stale conjuncts should extend, got %d extensions (was %d): %+v", s.ConjunctExtended, ext, s)
+	}
+	sameRows(t, r.Select(pred), want, "post-append warm")
 	if err := r.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}

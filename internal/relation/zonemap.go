@@ -1,0 +1,197 @@
+package relation
+
+import "sort"
+
+// Zone maps (DESIGN.md §14). Every sealed segment can summarize each
+// attribute once — numeric min/max over its span, the sorted distinct value
+// set for a categorical — and the conjunct-bitmap builders (vselect.go)
+// consult the summary to skip whole segments before touching a word of
+// bitmap algebra. Pruning must be *conservative*: a segment is skipped only
+// when the summary proves no row in it can match, under exactly the
+// comparator semantics of Predicate.Matches (PR3's discipline):
+//
+//   - NaN values never match a Range (both `v <= Hi` and `v < Hi` are false
+//     for NaN), so min/max are computed over non-NaN values only and a
+//     segment of pure NaNs is always prunable for ranges;
+//   - a NaN upper bound makes `v <= Hi` false for every v, so every segment
+//     is prunable; a NaN lower bound makes `!(v < Lo)` true for every v, so
+//     it constrains nothing;
+//   - ±0 compare equal, so whether min/max recorded -0 or +0 the pruning
+//     comparisons give the same verdict the row comparison would;
+//   - ±Inf are ordinary ordered values and need no special casing.
+//
+// Zone maps are built lazily, once per (segment, attribute), from spans
+// that are sealed and therefore can never change — they are never
+// invalidated, which is the point.
+
+// numZone summarizes one numeric attribute over one sealed segment.
+type numZone struct {
+	min, max float64 // over non-NaN values; meaningless when !hasVal
+	hasVal   bool    // any non-NaN value present
+}
+
+// catZone summarizes one categorical attribute over one sealed segment:
+// the sorted distinct values of its span. Values (not dictionary codes) so
+// the summary survives global-dictionary remaps unchanged.
+type catZone struct {
+	vals []string
+}
+
+// numZone returns the segment's zone map for the attribute key, building it
+// from the column span on first use. col must cover the segment.
+func (s *segment) numZone(key string, col []float64) *numZone {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if z, ok := s.nums[key]; ok {
+		return z
+	}
+	z := &numZone{}
+	for _, v := range col[s.lo:s.hi] {
+		if v != v { // NaN: excluded from the ordered summary
+			continue
+		}
+		if !z.hasVal {
+			z.min, z.max, z.hasVal = v, v, true
+			continue
+		}
+		if v < z.min {
+			z.min = v
+		}
+		if v > z.max {
+			z.max = v
+		}
+	}
+	if s.nums == nil {
+		s.nums = make(map[string]*numZone)
+	}
+	s.nums[key] = z
+	return z
+}
+
+// catZone returns the segment's zone map for the attribute key, building it
+// from the dictionary-coded span on first use. col must cover the segment.
+func (s *segment) catZone(key string, col *CatColumn) *catZone {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if z, ok := s.cats[key]; ok {
+		return z
+	}
+	present := make(map[uint32]struct{}, 16)
+	for _, c := range col.Codes[s.lo:s.hi] {
+		present[c] = struct{}{}
+	}
+	vals := make([]string, 0, len(present))
+	for c := range present {
+		vals = append(vals, col.Dict[c])
+	}
+	sort.Strings(vals)
+	z := &catZone{vals: vals}
+	if s.cats == nil {
+		s.cats = make(map[string]*catZone)
+	}
+	s.cats[key] = z
+	return z
+}
+
+// canMatchRange reports whether any value in the zone can satisfy
+// !(v < lo) && (v <= hi | v < hi). Exactly mirrors Range.Matches for
+// non-NaN v; NaN values never match, so a segment with no non-NaN value is
+// always prunable.
+func (z *numZone) canMatchRange(lo, hi float64, hiInc bool) bool {
+	if !z.hasVal {
+		return false
+	}
+	if hi != hi { // NaN upper bound: v <= NaN is false for every v
+		return false
+	}
+	if lo == lo && z.max < lo { // NaN lower bound constrains nothing
+		return false
+	}
+	if hiInc {
+		if z.min > hi {
+			return false
+		}
+	} else if z.min >= hi {
+		return false
+	}
+	return true
+}
+
+// canMatchIn reports whether any of the (sorted) member values occurs in
+// the segment.
+func (z *catZone) canMatchIn(members []string) bool {
+	// Walk the shorter list, binary-search the longer.
+	short, long := members, z.vals
+	if len(long) < len(short) {
+		short, long = long, short
+	}
+	for _, v := range short {
+		i := sort.SearchStrings(long, v)
+		if i < len(long) && long[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// span is one half-open scan range of a bitmap build.
+type span struct{ lo, hi int }
+
+// zoneSpans plans the scan of rows [lo, hi): sealed segments fully inside
+// the window whose zone map proves no match are cut out, the surviving
+// ranges are expanded to word (64-row) boundaries within the window so the
+// scan kernels' word writes never straddle two spans, and touching spans
+// merge. Expansion re-evaluates up to 63 rows of a pruned neighbor — safe,
+// because pruning means those rows evaluate to no match — and the kernels
+// OR into the bitmap, so re-evaluated rows are idempotent.
+//
+// canMatch is consulted only for segments fully inside the window
+// (partially covered segments are always scanned); a false verdict prunes
+// the segment. It also feeds the pruned/scanned counters.
+func (r *Relation) zoneSpans(lo, hi int, canMatch func(*segment) bool) []span {
+	if lo >= hi {
+		return nil
+	}
+	var out []span
+	cur := lo
+	if canMatch != nil {
+		for _, seg := range r.sealedSegments() {
+			if seg.hi <= lo || seg.lo >= hi {
+				continue
+			}
+			if seg.lo < lo || seg.hi > hi {
+				continue // partially covered: scan it
+			}
+			if canMatch(seg) {
+				r.seg.zoneScanned.Add(1)
+				continue
+			}
+			r.seg.zonePruned.Add(1)
+			if seg.lo > cur {
+				out = append(out, span{cur, seg.lo})
+			}
+			cur = seg.hi
+		}
+	}
+	if cur < hi {
+		out = append(out, span{cur, hi})
+	}
+	// Word-align within [lo, hi) and merge spans that now touch.
+	merged := out[:0]
+	for _, s := range out {
+		s.lo = max(s.lo&^63, lo)
+		if up := (s.hi + 63) &^ 63; up < hi {
+			s.hi = up
+		} else {
+			s.hi = hi
+		}
+		if n := len(merged); n > 0 && s.lo <= merged[n-1].hi {
+			if s.hi > merged[n-1].hi {
+				merged[n-1].hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}

@@ -270,6 +270,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// counts, cumulative Select wall time, and the conjunct-bitmap cache's
 	// hits/misses/occupancy.
 	body["select"] = sys.SelectStats()
+	// Segmented-storage counters (DESIGN.md §14): sealed segments and bytes,
+	// tail occupancy, seal count, and zone-map segments pruned vs scanned.
+	body["storage"] = sys.StorageStats()
 	// Shard-parallel build counters (DESIGN.md §12), plus GOMAXPROCS and the
 	// active shard count so capacity debugging needs no flag archaeology.
 	body["sharding"] = sys.ShardingStats()

@@ -158,6 +158,16 @@ type SelectStats = relation.SelectStats
 // reports the same counters.
 func (s *System) SelectStats() SelectStats { return s.rel.SelectStats() }
 
+// StorageStats is a point-in-time snapshot of the relation's segmented
+// columnar store: sealed-segment count and bytes, tail size, seal count,
+// and zone-map pruning counters (DESIGN.md §14).
+type StorageStats = relation.StorageStats
+
+// StorageStats returns the base relation's segment-storage counters. For an
+// AdaptiveSystem the relation is shared across snapshots, so any snapshot
+// reports the same counters.
+func (s *System) StorageStats() StorageStats { return s.rel.StorageStats() }
+
 // ShardingStats is a point-in-time snapshot of the shard-parallel build
 // counters plus the effective shard configuration (DESIGN.md §12).
 type ShardingStats = category.ShardingStats

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench segmentbench check chaos report examples fuzz lint lint-selfcheck ci clean
+.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench segmentbench check chaos crashchaos report examples fuzz lint lint-selfcheck ci clean
 
 all: build test
 
@@ -51,6 +51,17 @@ ci:
 # are never degraded trees, and nothing leaks after the drain.
 chaos:
 	go test -race -count=1 -run 'TestChaos' -v ./internal/server
+
+# The crash-recovery chaos suite (DESIGN.md §15) under the race detector:
+# the full durable-store test set — every-injection-point crash/recover
+# sweeps, double crashes during recovery, byte-granular WAL truncation, WAL
+# and codec fuzz seeds — plus the CRASHCHAOS-gated scale runs: a 100k-row
+# ingest killed at sampled points per fault site, and the 1.7M-row reopened
+# store answering a selective Select without loading the segments into RAM.
+crashchaos:
+	CRASHCHAOS=1 go test -race -count=1 -timeout=30m -v \
+		-run 'TestCrashChaos|TestRecovery|TestScaleLazySelect|Fuzz' \
+		./internal/relation/durable
 
 # The categorizer/columnar benchmarks, recorded as BENCH_categorize.json
 # (testdata/bench_seed.txt holds the pre-columnar baseline for the ratios).

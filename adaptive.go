@@ -147,6 +147,7 @@ func (a *AdaptiveSystem) learn(qs ...*sqlparse.Query) {
 		resil:   old.resil,
 		shardc:  old.shardc,
 		repairc: old.repairc,
+		dur:     old.dur,
 	}
 	if old.corr != nil {
 		next.corr = old.corr.Clone()

@@ -165,6 +165,12 @@ type Config struct {
 	// dimension leaves that dimension unbounded.
 	TreeCacheEntries int
 	TreeCacheBytes   int64
+	// Durable is the crash-consistent segment store backing rel, when the
+	// relation was opened from (or is being spilled to) disk (DESIGN.md §15).
+	// The system does not manage its lifecycle — the caller Closes it — but
+	// reports its recovery/quarantine state through DurabilityStats and
+	// StorageDegraded, and the HTTP server surfaces both.
+	Durable *DurableStore
 }
 
 // System ties a relation to preprocessed workload statistics and answers
@@ -193,6 +199,10 @@ type System struct {
 	// repairc counts stale-tree revalidation outcomes (§13); shared across an
 	// AdaptiveSystem's snapshots like resil, fresh per Personalize.
 	repairc *repairCounters
+	// dur is the durable segment store backing rel (nil for in-memory
+	// systems); shared across an AdaptiveSystem's snapshots like the
+	// relation itself (§15).
+	dur *DurableStore
 }
 
 // NewSystem builds a System over rel, mining the configured workload into
@@ -250,12 +260,12 @@ func NewSystem(rel *Relation, cfg Config) (*System, error) {
 		if cfg.Correlations {
 			corr = workload.NewCondIndex(w, wcfg)
 		}
-		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache, resil: resil, shardc: shardc, repairc: repairc}, nil
+		return &System{rel: rel, stats: stats, opts: cfg.Options, corr: corr, wl: w, wcfg: wcfg, cache: cache, resil: resil, shardc: shardc, repairc: repairc, dur: cfg.Durable}, nil
 	}
 	if cfg.Correlations {
 		return nil, fmt.Errorf("repro: Correlations requires the raw workload (WorkloadSQL or WorkloadReader), not precomputed Stats")
 	}
-	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache, resil: resil, shardc: shardc, repairc: repairc}, nil
+	return &System{rel: rel, stats: stats, opts: cfg.Options, cache: cache, resil: resil, shardc: shardc, repairc: repairc, dur: cfg.Durable}, nil
 }
 
 // Personalize returns a new System whose workload statistics blend this
@@ -283,6 +293,7 @@ func (s *System) Personalize(history []string, weight int) (*System, error) {
 		resil:   &resilienceCounters{},
 		shardc:  &category.ShardCounters{},
 		repairc: &repairCounters{},
+		dur:     s.dur, // same relation, same backing store
 	}
 	if s.cache.Enabled() {
 		// The personalized statistics are a different key space; sharing the

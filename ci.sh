@@ -52,5 +52,8 @@ go run ./cmd/catload -warmbench -rows 2000 -queries 1500 -n 60 -mix 8 -learn-eve
 step "chaos smoke (fault-injection suite)"
 go test -race -count=1 -run 'TestChaos' ./internal/server
 
+step "crash-recovery chaos (durable store under injected I/O faults, race)"
+go test -race -count=1 -run 'TestCrashChaos|TestRecovery' ./internal/relation/durable
+
 echo
 echo "ci: all gates passed"

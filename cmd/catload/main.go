@@ -11,7 +11,11 @@
 // Workers are closed-loop by default (each issues its next request when the
 // previous one returns); -rate R switches to an open loop that dispatches R
 // requests per second regardless of completions, the shape that exposes
-// queueing collapse. Every response's X-Cache header classifies the sample
+// queueing collapse. With -retries N a shed request (503 from admission
+// control or draining) is retried up to N times with capped exponential
+// backoff plus jitter, honoring the server's Retry-After hint — the polite
+// client the shed path is designed for; the summary reports how many sheds
+// were observed and how many requests recovered. Every response's X-Cache header classifies the sample
 // as cold (miss: selection + categorization ran) or warm (hit: served from
 // the tree cache), so one run yields both distributions.
 //
@@ -26,10 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +56,7 @@ func main() {
 		workers = flag.Int("c", 8, "concurrent clients (closed loop)")
 		total   = flag.Int("n", 400, "total requests per target")
 		rate    = flag.Float64("rate", 0, "open-loop dispatch rate in req/s (0 = closed loop)")
+		retries = flag.Int("retries", 0, "retry attempts per request for shed (503) responses, with capped exponential backoff honoring Retry-After")
 		mixSize = flag.Int("mix", 16, "distinct queries cycled through the load")
 		tech    = flag.String("technique", "", "categorization technique (empty = server default)")
 		depth   = flag.Int("maxdepth", 3, "tree depth bound sent with each request")
@@ -85,7 +93,7 @@ func main() {
 
 	mix := queryMix(*mixSize, *seed)
 	cfg := loadConfig{
-		workers: *workers, total: *total, rate: *rate,
+		workers: *workers, total: *total, rate: *rate, retries: *retries,
 		mix: mix, technique: *tech, maxDepth: *depth,
 	}
 
@@ -169,6 +177,7 @@ type loadConfig struct {
 	workers   int
 	total     int
 	rate      float64
+	retries   int
 	mix       []string
 	technique string
 	maxDepth  int
@@ -179,6 +188,9 @@ type loadResult struct {
 	cold, warm []time.Duration
 	errors     int
 	wall       time.Duration
+	// shed counts 503 responses observed (including ones later recovered by
+	// retry); recovered counts requests that succeeded after ≥1 shed.
+	shed, recovered int
 }
 
 func (r *loadResult) requests() int { return len(r.cold) + len(r.warm) }
@@ -205,9 +217,10 @@ func runLoad(url string, cfg loadConfig) *loadResult {
 	}}
 
 	type sample struct {
-		lat  time.Duration
-		warm bool
-		err  bool
+		lat   time.Duration
+		warm  bool
+		err   bool
+		sheds int
 	}
 	samples := make(chan sample, cfg.total)
 
@@ -220,18 +233,34 @@ func runLoad(url string, cfg loadConfig) *loadResult {
 		return raw
 	}
 
+	// shoot issues one logical request, retrying shed 503s up to cfg.retries
+	// times with capped exponential backoff (plus jitter, so the retry wave
+	// doesn't re-stampede the queue it just overflowed), honoring the
+	// server's Retry-After as a floor. The recorded latency spans the whole
+	// attempt chain — the client-observed cost of the request, backoff
+	// included. Only 503 retries: anything else is not a shed.
 	shoot := func(i int) sample {
 		start := time.Now()
-		resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body(i)))
-		if err != nil {
-			return sample{err: true}
+		var sheds int
+		for attempt := 0; ; attempt++ {
+			resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body(i)))
+			if err != nil {
+				return sample{err: true, sheds: sheds}
+			}
+			_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				sheds++
+				if attempt < cfg.retries {
+					time.Sleep(retryBackoff(attempt, resp.Header.Get("Retry-After")))
+					continue
+				}
+			}
+			if resp.StatusCode != http.StatusOK {
+				return sample{err: true, sheds: sheds}
+			}
+			return sample{lat: time.Since(start), warm: resp.Header.Get("X-Cache") == "hit", sheds: sheds}
 		}
-		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return sample{err: true}
-		}
-		return sample{lat: time.Since(start), warm: resp.Header.Get("X-Cache") == "hit"}
 	}
 
 	start := time.Now()
@@ -272,6 +301,7 @@ func runLoad(url string, cfg loadConfig) *loadResult {
 
 	res := &loadResult{wall: wall}
 	for s := range samples {
+		res.shed += s.sheds
 		switch {
 		case s.err:
 			res.errors++
@@ -280,8 +310,28 @@ func runLoad(url string, cfg loadConfig) *loadResult {
 		default:
 			res.cold = append(res.cold, s.lat)
 		}
+		if !s.err && s.sheds > 0 {
+			res.recovered++
+		}
 	}
 	return res
+}
+
+// retryBackoff is the wait before retry #attempt: 50ms doubling per attempt,
+// capped at 2s, with up to +50% jitter, and never below the server's
+// Retry-After hint (whole seconds, per the shed path's contract).
+func retryBackoff(attempt int, retryAfter string) time.Duration {
+	d := 50 * time.Millisecond << min(attempt, 10)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if floor := time.Duration(secs) * time.Second; d < floor {
+			d = floor
+		}
+	}
+	return d
 }
 
 // quantile returns the q-th latency quantile (nearest-rank) of a sample set.
@@ -304,6 +354,9 @@ func quantile(lats []time.Duration, q float64) time.Duration {
 func (r *loadResult) print(w *os.File, label string) {
 	fmt.Fprintf(w, "%s: %d requests in %s (%.1f rps), %d errors\n",
 		label, r.requests(), r.wall.Round(time.Millisecond), r.throughput(), r.errors)
+	if r.shed > 0 {
+		fmt.Fprintf(w, "  shed    %d 503s observed, %d requests recovered by retry\n", r.shed, r.recovered)
+	}
 	line := func(name string, lats []time.Duration) {
 		if len(lats) == 0 {
 			return

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-correlations] [-learn] [-cache-entries N] [-cache-mb N] [-max-concurrent N] [-max-queue N] [-deadline D] [-soft-budget D] [-degrade] [-drain D]
+//	catserve [-addr :8080] [-rows N] [-queries N] [-seed N] [-csv file] [-workload file] [-data-dir DIR] [-fsync POLICY] [-correlations] [-learn] [-cache-entries N] [-cache-mb N] [-max-concurrent N] [-max-queue N] [-deadline D] [-soft-budget D] [-degrade] [-drain D]
 //
 // Then:
 //
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/query -d '{"sql":"SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000","maxDepth":2}'
 //	curl -X POST localhost:8080/v1/refine -d '{"sql":"…","path":[0,1]}'
+//
+// With -data-dir the relation lives in a crash-consistent durable segment
+// store (DESIGN.md §15): a directory already holding a store is reopened with
+// full recovery (WAL replay, torn-tail repair, corrupt-segment quarantine —
+// the server then runs degraded rather than refusing to start), while an
+// empty one is created and seeded with the generated or CSV dataset through
+// the WAL'd ingest path. -fsync picks the append sync policy.
 //
 // SIGINT/SIGTERM drains gracefully: new categorization requests are shed
 // with 503 while in-flight ones get up to -drain to finish.
@@ -39,6 +46,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		csvPath = flag.String("csv", "", "load the relation from this CSV instead of generating")
 		wlPath  = flag.String("workload", "", "load the workload from this SQL log instead of generating")
+		dataDir = flag.String("data-dir", "", "durable segment store directory: reopened (with crash recovery) when it holds a store, else created and seeded with the dataset")
+		fsyncP  = flag.String("fsync", "batch", "durable store append sync policy: always, batch, or none (with -data-dir)")
 		corr    = flag.Bool("correlations", false, "enable the path-conditional probability model")
 		learn   = flag.Bool("learn", false, "fold every served query into the workload statistics")
 		shards  = flag.Int("shards", 0, "shard-parallel fan-out per categorization build (0 = GOMAXPROCS, 1 = off)")
@@ -58,22 +67,74 @@ func main() {
 	)
 	flag.Parse()
 
-	var rel *repro.Relation
-	if *csvPath != "" {
-		f, err := os.Open(*csvPath)
-		if err != nil {
-			log.Fatal(err)
+	// loadRel materializes the configured dataset in memory (CSV or demo).
+	loadRel := func() *repro.Relation {
+		if *csvPath != "" {
+			f, err := os.Open(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel, err := relation.ReadCSV("ListProperty", f, nil)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return rel
 		}
-		rel, err = relation.ReadCSV("ListProperty", f, nil)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		return repro.DemoDataset(*rows, *seed)
+	}
+
+	var (
+		rel *repro.Relation
+		dur *repro.DurableStore
+	)
+	if *dataDir == "" {
+		rel = loadRel()
 	} else {
-		rel = repro.DemoDataset(*rows, *seed)
+		pol, err := repro.ParseSyncPolicy(*fsyncP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := repro.DurableOptions{Sync: pol}
+		switch dur, err = repro.OpenDurable(*dataDir, opts); {
+		case err == nil:
+			// Reopened: the store's surviving rows ARE the dataset; -rows and
+			// -csv describe only how a fresh store would be seeded.
+			rel, err = dur.Relation("ListProperty")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ds := dur.Stats()
+			fmt.Printf("catserve: recovered %s: %d segments, %d rows (torn tail: %v)\n",
+				*dataDir, ds.Segments, ds.SealedRows+ds.TailRows, ds.RecoveredTorn)
+			if ds.Degraded {
+				fmt.Printf("catserve: DEGRADED storage — %d rows quarantined across %d segments\n",
+					ds.QuarantinedRows, len(ds.Quarantined))
+			}
+		case repro.IsDurableNotExist(err):
+			// Fresh directory: seed it through the WAL'd ingest path so the
+			// store is crash-consistent from the first row.
+			rel = loadRel()
+			dur, err = repro.CreateDurable(*dataDir, rel.Schema(), opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < rel.Len(); i++ {
+				if err := dur.Append(rel.Row(i)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := dur.Sync(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("catserve: seeded %s with %d rows (fsync=%s)\n", *dataDir, rel.Len(), pol)
+		default:
+			log.Fatal(err)
+		}
 	}
 
 	cfg := repro.Config{
+		Durable:          dur,
 		Intervals:        repro.DemoIntervals(),
 		Correlations:     *corr,
 		Shards:           *shards,
@@ -137,6 +198,13 @@ func main() {
 	if err := hs.Shutdown(sctx); err != nil {
 		log.Printf("catserve: drain incomplete: %v", err)
 		os.Exit(1)
+	}
+	if dur != nil {
+		// Graceful close fsyncs the tail regardless of -fsync policy.
+		if err := dur.Close(); err != nil {
+			log.Printf("catserve: closing durable store: %v", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("catserve: bye")
 }

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	datagen [-rows N] [-queries N] [-seed N] [-dir DIR] [-stats] [-stream]
+//	datagen [-rows N] [-queries N] [-seed N] [-dir DIR] [-stats] [-stream] [-spill DIR]
 //
 // With -stream the dataset is generated row by row straight to disk in
 // constant memory (the output is byte-identical to the materialized path),
 // so paper-scale and larger files — 1.7M rows, 10M rows — need no
 // proportional RAM.
+//
+// With -spill DIR the dataset is additionally ingested — also row by row in
+// constant memory — into a crash-consistent durable segment store at DIR
+// (DESIGN.md §15), ready for `catserve -data-dir DIR`. Sealed segments spill
+// as they fill, so RAM stays bounded by one segment.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"repro"
 	"repro/internal/datagen"
 	"repro/internal/relation"
+	"repro/internal/relation/durable"
 	"repro/internal/workload"
 )
 
@@ -33,6 +39,7 @@ func main() {
 		dir       = flag.String("dir", ".", "output directory")
 		withStats = flag.Bool("stats", false, "also write preprocessed count tables (stats.gob)")
 		stream    = flag.Bool("stream", false, "stream the dataset CSV row by row in constant memory")
+		spill     = flag.String("spill", "", "also ingest the dataset into a durable segment store at this directory (constant memory)")
 	)
 	flag.Parse()
 
@@ -57,6 +64,14 @@ func main() {
 		nRows, nCols = rel.Len(), rel.Schema().Len()
 	}
 	fmt.Printf("wrote %s (%d rows × %d columns)\n", csvPath, nRows, nCols)
+
+	if *spill != "" {
+		n, size, err := spillStore(*spill, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spilled %s (%d rows, %d segment files)\n", *spill, n, size)
+	}
 
 	sql := datagen.WorkloadSQL(datagen.WorkloadConfig{Queries: *queries, Seed: *seed + 1})
 	sqlPath := filepath.Join(*dir, "workload.sql")
@@ -113,6 +128,35 @@ func streamCSV(path string, cfg datagen.DatasetConfig) (int, error) {
 		return n, err
 	}
 	return n, f.Close()
+}
+
+// spillStore streams the dataset row by row into a fresh durable segment
+// store: segments seal and spill as they fill, so memory stays bounded by
+// one segment regardless of -rows. SyncNone skips per-append fsyncs — a
+// bulk load restarts from scratch on a crash — while Close still syncs, so
+// the finished store is fully durable.
+func spillStore(dir string, cfg datagen.DatasetConfig) (rows, segments int, err error) {
+	st, err := durable.Create(dir, datagen.Schema(cfg), durable.Options{Sync: durable.SyncNone})
+	if err != nil {
+		return 0, 0, err
+	}
+	err = datagen.Stream(cfg, func(i int, t relation.Tuple) error {
+		rows++
+		return st.Append(t)
+	})
+	if err != nil {
+		st.Abandon()
+		return rows, 0, err
+	}
+	if err := st.Close(); err != nil {
+		return rows, 0, err
+	}
+	st, err = durable.Open(dir, durable.Options{ReadOnly: true})
+	if err != nil {
+		return rows, 0, fmt.Errorf("spilled store fails to reopen: %w", err)
+	}
+	defer st.Close()
+	return rows, st.Stats().Segments, nil
 }
 
 func writeLines(path string, lines []string) error {

@@ -69,6 +69,15 @@ type Config struct {
 	SegPkgs   []string
 	SegFields []string
 
+	// FsyncPkgs are the library packages whose file creation must go through
+	// the durable store's write path (fsyncguard, PR9): a raw
+	// os.Create/os.WriteFile/O_CREATE open there produces a persistent file
+	// with no checksum frame, no fsync, and no rename protocol — invisible
+	// until a crash tears it. FsyncAllowPkgs implement that write path and
+	// are exempt; cmd/ tools and test files are outside FsyncPkgs entirely.
+	FsyncPkgs      []string
+	FsyncAllowPkgs []string
+
 	// NoCopyPkgs is the serving path for the copylocks-style nocopy check:
 	// types carrying mutexes or atomics — and the reference-semantics types
 	// listed in NoCopyTypes ("pkgpath.Type" substrings) — must not be passed
@@ -102,6 +111,12 @@ func DefaultConfig() *Config {
 
 		SegPkgs:   []string{"internal/relation"},
 		SegFields: []string{"CatColumn.Codes", "CatColumn.Dict"},
+
+		FsyncPkgs: []string{
+			"repro", "internal/relation", "internal/category", "internal/workload",
+			"internal/treecache", "internal/server", "internal/sqlparse",
+		},
+		FsyncAllowPkgs: []string{"internal/relation/durable"},
 
 		NoCopyPkgs: []string{
 			"repro", "internal/server", "internal/treecache",

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkFsyncGuard guards the durable write protocol (PR9): data files that
+// survive the process must be written through internal/relation/durable's
+// path — length+CRC32C framed pages, fsync before rename, fsync of the
+// directory after — because a raw os.Create/os.WriteFile produces a file
+// that a crash can tear silently and recovery cannot distinguish from data
+// loss. In the library packages, creating a file any other way is a bug
+// waiting for the crash-chaos suite to find; the cmd/ tools (CSV exports,
+// benchmark JSON) write operator-facing artifacts, not store data, and stay
+// unrestricted, as do tests (the loader analyzes only non-test files).
+var checkFsyncGuard = &Check{
+	Name: "fsyncguard",
+	Doc:  "library data files are written only through internal/relation/durable's framed, fsync'd path",
+	Run:  runFsyncGuard,
+}
+
+func runFsyncGuard(pass *Pass) {
+	cfg := pass.Cfg
+	if matchPkg(pass.Path, cfg.FsyncAllowPkgs) || !matchPkg(pass.Path, cfg.FsyncPkgs) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcPkgPath(fn) != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "Create", "WriteFile":
+			case "OpenFile":
+				// Opening an existing file read-only or for append is not a
+				// data-file write; only creation is guarded.
+				if !openFileCreates(call) {
+					return true
+				}
+			default:
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw os.%s in %s writes a file outside the durable store's write path (no checksum frame, no fsync, no atomic rename); use internal/relation/durable, or suppress with a reason if this is not persistent data",
+				fn.Name(), pass.Pkg.Name())
+			return true
+		})
+	}
+}
+
+// openFileCreates reports whether an os.OpenFile call's flag argument
+// mentions O_CREATE anywhere in its expression — a syntactic heuristic
+// (constants folded elsewhere escape it), which is the right price for
+// leaving plain read/append opens alone.
+func openFileCreates(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	creates := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_CREATE" {
+			creates = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "O_CREATE" {
+			creates = true
+		}
+		return !creates
+	})
+	return creates
+}

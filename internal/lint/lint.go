@@ -94,6 +94,7 @@ func Checks() []*Check {
 		checkNoCopy,
 		checkWarmGuard,
 		checkSegGuard,
+		checkFsyncGuard,
 	}
 }
 

@@ -169,7 +169,8 @@ func TestNegativeFixturesQuiet(t *testing.T) {
 	diags := Run(pkgs, DefaultConfig(), Checks())
 	for _, d := range diags {
 		if strings.Contains(d.File, "testdata/src/clean/") ||
-			strings.Contains(d.File, "testdata/src/internal/resilience/") {
+			strings.Contains(d.File, "testdata/src/internal/resilience/") ||
+			strings.Contains(d.File, "testdata/src/internal/relation/durable/") {
 			t.Errorf("negative fixture produced a diagnostic: %s", d)
 		}
 	}

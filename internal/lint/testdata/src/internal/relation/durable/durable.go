@@ -1,0 +1,30 @@
+// Package durable mirrors the real durable store for the fsyncguard
+// exemption: this package IS the sanctioned write path, so its direct
+// os.Create/os.WriteFile/O_CREATE uses must produce no diagnostics.
+package durable
+
+import "os"
+
+// writeSegment creates a segment file the sanctioned way (tmp, fsync,
+// rename — elided here; the fixture pins only the scoping). Clean.
+func writeSegment(path string, page []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(page); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// writeManifestTmp one-shots the manifest temp file. Clean.
+func writeManifestTmp(path string, m []byte) error {
+	return os.WriteFile(path, m, 0o644)
+}
+
+// createWAL opens the log with O_CREATE. Clean.
+func createWAL(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,44 @@
+package relation
+
+import "os"
+
+// The durable write protocol boundary (fsyncguard): in the library packages
+// every persistent file goes through internal/relation/durable; a raw
+// os.Create/os.WriteFile/O_CREATE open here ships a file a crash can tear.
+
+// spillRaw creates a data file directly. Finding.
+func spillRaw(path string, payload []byte) error {
+	f, err := os.Create(path) // want `raw os\.Create in relation writes a file outside the durable store's write path`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(payload)
+	return err
+}
+
+// dumpRaw one-shots a data file. Finding.
+func dumpRaw(path string, payload []byte) error {
+	return os.WriteFile(path, payload, 0o644) // want `raw os\.WriteFile in relation writes a file outside the durable store's write path`
+}
+
+// openCreating opens with O_CREATE in a composite flag expression. Finding.
+func openCreating(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want `raw os\.OpenFile in relation writes a file outside the durable store's write path`
+}
+
+// readBack opens an existing file read-only. Clean: only creation is guarded.
+func readBack(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// appendExisting opens an existing file for append without O_CREATE. Clean.
+func appendExisting(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+}
+
+// exportRaw is a deliberate non-data write, suppressed with a reason. Clean.
+func exportRaw(path string, report []byte) error {
+	//lint:ignore fsyncguard operator-facing report, not store data
+	return os.WriteFile(path, report, 0o644)
+}

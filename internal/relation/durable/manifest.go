@@ -1,0 +1,128 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/resilience/faultinject"
+)
+
+// The manifest is the store's single source of truth: which segment files
+// exist, in what order, and which WAL carries the tail. It is replaced —
+// never edited — by the classic atomic protocol:
+//
+//	write MANIFEST.tmp (one checksummed page)
+//	fsync MANIFEST.tmp
+//	rename MANIFEST.tmp → MANIFEST
+//	fsync the directory
+//
+// rename(2) is atomic on POSIX filesystems, so a reader (or a recovery
+// after a crash at any of the four steps) sees either the complete old
+// manifest or the complete new one. The fsync before the rename keeps the
+// filesystem from reordering the rename ahead of the tmp file's data; the
+// directory fsync makes the new name itself durable.
+//
+// Generations are dense and increasing; every seal bumps the generation and
+// rotates the WAL, so wal-<generation>.log pairs with the manifest that
+// references it and everything else in the directory is inert garbage.
+
+const manifestName = "MANIFEST"
+
+// segMeta is one spilled segment as recorded in the manifest.
+type segMeta struct {
+	File  string `json:"file"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Bytes int64  `json:"bytes"`
+}
+
+// manifest is the MANIFEST payload.
+type manifest struct {
+	Magic       string     `json:"magic"`
+	Generation  uint64     `json:"generation"`
+	SegmentRows int        `json:"segmentRows"`
+	Schema      []attrMeta `json:"schema"`
+	Segments    []segMeta  `json:"segments"`
+	WAL         string     `json:"wal"`
+	WALAfter    int        `json:"walAfterRows"`
+}
+
+const manifestMagic = "DMAN1"
+
+// writeManifest atomically replaces the store's MANIFEST with m.
+func (s *Store) writeManifest(ctx context.Context, m *manifest) error {
+	if err := faultinject.Inject(ctx, faultinject.SiteDurableManifest); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := s.writeAll(ctx, f, framePage(nil, payload)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := s.fsyncFile(ctx, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return err
+	}
+	return s.fsyncDir(ctx, s.dir)
+}
+
+// readManifest loads and validates the MANIFEST in dir. os.ErrNotExist
+// means the directory holds no store; a torn or corrupt manifest is an
+// error — the rename protocol guarantees a crash cannot produce one, so its
+// presence means external damage to the one file that locates everything
+// else, and guessing would present data loss as an empty store.
+func readManifest(dir string) (*manifest, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := readPage(f)
+	if err != nil {
+		return nil, fmt.Errorf("durable: manifest unreadable: %w", errOrTorn(err))
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("durable: manifest unreadable: %w: %v", ErrCorrupt, err)
+	}
+	if m.Magic != manifestMagic {
+		return nil, fmt.Errorf("durable: manifest unreadable: %w: magic %q", ErrCorrupt, m.Magic)
+	}
+	if m.SegmentRows < 1 || m.WAL == "" || len(m.Schema) == 0 {
+		return nil, fmt.Errorf("durable: manifest unreadable: %w: incomplete fields", ErrCorrupt)
+	}
+	hi := 0
+	for _, sm := range m.Segments {
+		if sm.Lo != hi || sm.Hi <= sm.Lo {
+			return nil, fmt.Errorf("durable: manifest unreadable: %w: segment %q spans [%d,%d) after %d", ErrCorrupt, sm.File, sm.Lo, sm.Hi, hi)
+		}
+		hi = sm.Hi
+	}
+	if m.WALAfter != hi {
+		return nil, fmt.Errorf("durable: manifest unreadable: %w: WAL afterRows %d, segments cover %d", ErrCorrupt, m.WALAfter, hi)
+	}
+	return &m, nil
+}
+
+// IsNotExist reports whether err from Open means "no store here" (no
+// manifest in the directory) — the signal for first-boot callers to Create
+// instead.
+func IsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }

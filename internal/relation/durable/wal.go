@@ -1,0 +1,188 @@
+package durable
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// The write-ahead log protects the active tail: rows appended since the
+// last seal. Each manifest generation owns exactly one WAL file,
+// wal-<generation>.log, whose header page records the generation, the
+// schema, and afterRows — the number of sealed rows the log's records come
+// after. Every Append writes one framed record (the tuple codec of
+// format.go) before the row is acknowledged; the sync policy decides when
+// fsync makes it durable.
+//
+// A seal rotates the WAL: the fresh log (afterRows = new sealed high-water
+// mark) is created and fsynced *before* the manifest flips to reference it,
+// so a crash between the two leaves the old manifest + old WAL — a complete,
+// consistent view. The superseded log becomes garbage, deleted best-effort
+// and ignored by recovery.
+//
+// Replay reads records until the first torn or corrupt page and stops
+// there: a torn final record is the normal crash signature (the row was
+// never acknowledged under SyncAlways), and anything after a bad page is
+// unordered noise. Recovery reports the byte offset of the last good record
+// so a writable Open can truncate the tear off and keep appending.
+
+const walMagic = "DWAL1"
+
+// walHeader is the header page payload of a WAL file.
+type walHeader struct {
+	Magic      string     `json:"magic"`
+	Generation uint64     `json:"generation"`
+	AfterRows  int        `json:"afterRows"`
+	Schema     []attrMeta `json:"schema"`
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%010d.log", gen) }
+
+// walWriter is the open, appendable log for the store's current generation.
+type walWriter struct {
+	f         *os.File
+	name      string // basename within the store directory
+	afterRows int
+	unsynced  int // acknowledged appends not yet covered by an fsync
+}
+
+// createWAL writes a fresh log with its header page and makes it durable
+// (header fsynced, directory entry fsynced) before returning: the manifest
+// that will reference it must never win the race against its creation.
+func (s *Store) createWAL(ctx context.Context, gen uint64, afterRows int) (*walWriter, error) {
+	name := walName(gen)
+	path := filepath.Join(s.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(walHeader{
+		Magic:      walMagic,
+		Generation: gen,
+		AfterRows:  afterRows,
+		Schema:     schemaMeta(s.schema),
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.writeAll(ctx, f, framePage(nil, hdr)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.fsyncFile(ctx, f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.fsyncDir(ctx, s.dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, name: name, afterRows: afterRows}, nil
+}
+
+// append writes one row record. The caller (Store.Append) holds the store
+// mutex and applies the sync policy afterwards.
+func (s *Store) walAppend(ctx context.Context, w *walWriter, t relation.Tuple) error {
+	rec := framePage(nil, appendTuple(nil, s.schema, t))
+	if err := s.writeAll(ctx, w.f, rec); err != nil {
+		return err
+	}
+	w.unsynced++
+	s.walRecords.Add(1)
+	return nil
+}
+
+// walSync applies the sync policy to the log's unsynced records. force
+// makes it unconditional (seal, Sync, Close).
+func (s *Store) walSync(ctx context.Context, w *walWriter, force bool) error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	switch {
+	case force, s.opts.Sync == SyncAlways:
+	case s.opts.Sync == SyncBatch && w.unsynced >= s.opts.SyncEvery:
+	default:
+		return nil
+	}
+	if err := s.fsyncFile(ctx, w.f); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// replayWAL reads the log at path and returns the rows of every intact
+// record, in order. good is the byte offset just past the last intact page
+// (header included) — the truncation point for tail repair. torn reports
+// whether anything (torn or corrupt) was cut off after it. A missing,
+// empty, or header-damaged file replays as zero rows with good == 0: the
+// tail is simply gone, which for a zero-length WAL (crash between file
+// creation and header write... impossible here since createWAL fsyncs, but
+// reachable via external truncation) is the correct, empty answer.
+func replayWAL(path string, schema *relation.Schema, wantGen uint64, wantAfter int) (rows []relation.Tuple, good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, true, nil
+		}
+		return nil, 0, false, err
+	}
+	defer f.Close()
+
+	r := &countingReader{r: bufio.NewReader(f)}
+	hdrPayload, err := readPage(r)
+	if err != nil {
+		// io.EOF (zero-length file), ErrTorn, ErrCorrupt: no usable header,
+		// no usable records. Not an Open error — the tail is empty.
+		return nil, 0, true, nil
+	}
+	var hdr walHeader
+	if err := json.Unmarshal(hdrPayload, &hdr); err != nil || hdr.Magic != walMagic {
+		return nil, 0, true, nil
+	}
+	if hdr.Generation != wantGen || hdr.AfterRows != wantAfter || !sameSchema(hdr.Schema, schemaMeta(schema)) {
+		return nil, 0, false, fmt.Errorf("durable: WAL header (gen %d, afterRows %d) does not match manifest (gen %d, afterRows %d)",
+			hdr.Generation, hdr.AfterRows, wantGen, wantAfter)
+	}
+	good = r.n
+	for {
+		payload, err := readPage(r)
+		if err == io.EOF {
+			return rows, good, false, nil
+		}
+		if err != nil {
+			// Torn or corrupt record: replay stops at the last good one.
+			return rows, good, true, nil
+		}
+		t, err := decodeTuple(payload, schema)
+		if err != nil {
+			// The page checksummed clean but decodes wrong — only possible
+			// if a correctly-framed foreign page landed here. Treat as the
+			// end of the intact prefix, like a corrupt page.
+			return rows, good, true, nil
+		}
+		rows = append(rows, t)
+		good = r.n
+	}
+}
+
+// countingReader tracks the byte offset of an io.Reader, so replay can name
+// the truncation point.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

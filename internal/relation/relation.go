@@ -214,8 +214,17 @@ func (r *Relation) Append(t Tuple) error {
 	rows := append(r.snapshot(), t)
 	r.rows.Store(&rows)
 	r.dataGen.Add(1)
+	prevHi := r.sealedRows()
 	r.maybeSeal(len(rows))
+	newHi := r.sealedRows()
+	hook := r.seg.sealHook
 	r.mu.Unlock()
+	if hook != nil && newHi > prevHi {
+		// Outside the writer mutex: the span is already sealed and
+		// immutable, so the hook may read rows [prevHi, newHi) freely —
+		// the durable store spills them to disk from here.
+		hook(prevHi, newHi)
+	}
 	return nil
 }
 

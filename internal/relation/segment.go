@@ -61,6 +61,11 @@ type segState struct {
 	seals       atomic.Uint64
 	zonePruned  atomic.Uint64
 	zoneScanned atomic.Uint64
+	// sealHook, when set, is invoked by Append after the writer mutex is
+	// released, once per append that sealed rows, with the newly sealed
+	// span [lo, hi). Written only via SetSealHook while the relation is
+	// empty; read under the writer mutex.
+	sealHook func(lo, hi int)
 }
 
 // segment is one sealed span [lo, hi). The descriptor is immutable; the
@@ -99,6 +104,24 @@ func (r *Relation) SetSegmentRows(n int) error {
 		return fmt.Errorf("relation %s: cannot change segment size with %d rows present", r.Name, r.Len())
 	}
 	r.seg.rowsPerSeg.Store(int64(n))
+	return nil
+}
+
+// SetSealHook registers fn to be called after every Append that seals one
+// or more segment spans, with the newly sealed range [lo, hi) (a multiple
+// of the segment size). The call happens on the appending goroutine, after
+// the writer mutex is released; the sealed rows are immutable by then, so
+// fn may read them without synchronization. The durable store (durable
+// package) uses this to spill sealed spans to disk in lockstep with the
+// in-memory seal. Like SetSegmentRows, the hook must be installed before
+// any row is appended, and there is at most one.
+func (r *Relation) SetSealHook(fn func(lo, hi int)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Len() > 0 {
+		return fmt.Errorf("relation %s: cannot install seal hook with %d rows present", r.Name, r.Len())
+	}
+	r.seg.sealHook = fn
 	return nil
 }
 

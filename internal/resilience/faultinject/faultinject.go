@@ -6,6 +6,12 @@
 // context dies, return an error, or panic — the shapes that must not crash
 // the server, strand a singleflight waiter, or poison the tree cache.
 //
+// I/O sites (the durable store, DESIGN.md §15) additionally call
+// InjectWrite, which can model a *torn* write: the rule fires, the caller is
+// told to persist only a prefix of the bytes it was about to write, and the
+// injected error then aborts the ingest exactly as a crash would — leaving a
+// short, checksummed-invalid record on disk for recovery to detect.
+//
 // Determinism: firing decisions come from one seeded PRNG, so a single-
 // threaded traversal sequence reproduces exactly; under concurrency the
 // per-request interleaving varies but the sampled fault mix does not.
@@ -20,7 +26,10 @@ import (
 	"time"
 )
 
-// The named sites. Keep these in sync with DESIGN.md §10's fault-site table.
+// The named sites. Keep these in sync with DESIGN.md §10's fault-site table
+// (serving sites) and §15's I/O-site table (durable sites); Sites() is the
+// machine-readable registry, and TestEveryInjectCallSiteRegistered pins that
+// every Inject/InjectWrite call in the tree names a registered site.
 const (
 	// SiteCategorizeStart fires once per cost-based categorization, before
 	// any work.
@@ -35,17 +44,61 @@ const (
 	SiteCacheCompute = "treecache.compute"
 	// SiteServeBuild fires at the top of the serving path's build ladder.
 	SiteServeBuild = "serve.build"
+
+	// SiteDurableWrite fires before every data write of the durable store
+	// (WAL records, segment pages, manifest bytes). Rules with ShortWrite
+	// model torn writes: a prefix of the payload reaches disk, then the
+	// error aborts the writer mid-record.
+	SiteDurableWrite = "durable.write"
+	// SiteDurableFsync fires before every fsync the durable store issues
+	// (WAL, segment file, manifest file, directory).
+	SiteDurableFsync = "durable.fsync"
+	// SiteDurableManifest fires at the top of every atomic manifest replace
+	// (write-temp, fsync, rename, fsync-dir).
+	SiteDurableManifest = "durable.manifest"
+	// SiteDurableRecover fires during durable.Open's recovery sequence —
+	// before the WAL replay and before recovery's own repair write (the
+	// torn-tail truncation) — so a crash *during* recovery is reachable.
+	SiteDurableRecover = "durable.recover"
 )
+
+// Sites returns every registered site name, in stable order. New Inject call
+// sites must add their constant here; the faultinject package's registration
+// test walks the source tree and fails on any call naming an unregistered
+// site, so dead chaos sites cannot land silently.
+func Sites() []string {
+	return []string{
+		SiteCategorizeStart,
+		SiteCategorizeLevel,
+		SiteBaseline,
+		SiteCacheCompute,
+		SiteServeBuild,
+		SiteDurableWrite,
+		SiteDurableFsync,
+		SiteDurableManifest,
+		SiteDurableRecover,
+	}
+}
 
 // Rule is one site's fault: fire with probability P (a non-positive P means
 // always), then apply the configured effects in order — sleep Latency, stall
-// until ctx dies, panic, return Err.
+// until ctx dies, panic, return Err. SkipFirst delays arming: the rule
+// ignores the site's first SkipFirst hits, which is how the crash-recovery
+// chaos suite kills an ingest at exactly its k-th I/O operation.
 type Rule struct {
 	P       float64
 	Latency time.Duration
 	Stall   bool
 	Panic   bool
 	Err     error
+	// SkipFirst arms the rule only after the site has been hit this many
+	// times; the firing probability applies from hit SkipFirst+1 on.
+	SkipFirst uint64
+	// ShortWrite applies to InjectWrite sites: when the rule fires, the
+	// caller is told to write a strict prefix of its payload (length drawn
+	// from the injector's seeded PRNG) before returning the error — a torn
+	// write, as left behind by a crash mid-record.
+	ShortWrite bool
 }
 
 // Fault is the value a Panic rule panics with, so recover() boundaries and
@@ -60,11 +113,17 @@ type Injector struct {
 	rng   *rand.Rand
 	rules map[string]Rule
 	fired map[string]uint64
+	hits  map[string]uint64
 }
 
 // New builds an injector with a deterministic seed and no rules.
 func New(seed int64) *Injector {
-	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: make(map[string]Rule), fired: make(map[string]uint64)}
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]Rule),
+		fired: make(map[string]uint64),
+		hits:  make(map[string]uint64),
+	}
 }
 
 // Set installs (or replaces) the rule for a site. A non-positive P is
@@ -85,6 +144,15 @@ func (i *Injector) Fired(site string) uint64 {
 	return i.fired[site]
 }
 
+// Hits reports how many times the site has been reached at all, rules or
+// not. The crash chaos suite counts a clean run's hits first, then replays
+// the ingest once per hit index with a SkipFirst rule targeting it.
+func (i *Injector) Hits(site string) uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[site]
+}
+
 // active is the process-wide injector; nil means every Inject is a no-op.
 var active atomic.Pointer[Injector]
 
@@ -102,19 +170,45 @@ func Inject(ctx context.Context, site string) error {
 	if inj == nil {
 		return nil
 	}
-	return inj.inject(ctx, site)
+	_, err := inj.inject(ctx, site, 0)
+	return err
 }
 
-func (i *Injector) inject(ctx context.Context, site string) error {
+// InjectWrite is the hook point for data writes of n bytes: like Inject,
+// but when the firing rule has ShortWrite set the caller must write exactly
+// `keep` bytes of its payload (0 ≤ keep < n) before acting on the returned
+// error — leaving a torn record behind, as a crash mid-write would. With no
+// injector (or no firing rule) keep == n and err == nil.
+func InjectWrite(ctx context.Context, site string, n int) (keep int, err error) {
+	inj := active.Load()
+	if inj == nil {
+		return n, nil
+	}
+	return inj.inject(ctx, site, n)
+}
+
+func (i *Injector) inject(ctx context.Context, site string, n int) (int, error) {
 	i.mu.Lock()
+	i.hits[site]++
+	hit := i.hits[site]
 	r, ok := i.rules[site]
-	fire := ok && (r.P >= 1 || i.rng.Float64() < r.P)
+	fire := ok && hit > r.SkipFirst && (r.P >= 1 || i.rng.Float64() < r.P)
+	keep := n
 	if fire {
 		i.fired[site]++
+		// Only an aborting rule tears the write: the caller acts on keep
+		// solely alongside a non-nil error (or a panic/stall), so a
+		// latency-only rule must leave the payload intact.
+		if aborts := r.Err != nil || r.Stall || r.Panic; aborts {
+			keep = 0
+			if r.ShortWrite && n > 0 {
+				keep = i.rng.Intn(n) // strict prefix: the record is always torn
+			}
+		}
 	}
 	i.mu.Unlock()
 	if !fire {
-		return nil
+		return n, nil
 	}
 	if r.Latency > 0 {
 		t := time.NewTimer(r.Latency)
@@ -122,15 +216,15 @@ func (i *Injector) inject(ctx context.Context, site string) error {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return ctx.Err()
+			return keep, ctx.Err()
 		}
 	}
 	if r.Stall {
 		<-ctx.Done()
-		return ctx.Err()
+		return keep, ctx.Err()
 	}
 	if r.Panic {
 		panic(&Fault{Site: site})
 	}
-	return r.Err
+	return keep, r.Err
 }

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The site registry used to be a hand-maintained list in a doc comment,
+// which is exactly how chaos sites go dead: a new Inject call lands with a
+// new site name, no rule ever targets it, and the chaos suite silently stops
+// covering the code it was written for. This test closes the loop from both
+// ends: every Site* constant declared in this package must be returned by
+// Sites(), and every faultinject.Inject/InjectWrite call in the module must
+// name one of those constants (never a string literal, which would dodge the
+// registry entirely).
+
+// declaredSites parses this package's non-test files and extracts every
+// string constant whose name starts with "Site".
+func declaredSites(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing package: %v", err)
+	}
+	sites := make(map[string]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "Site") || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						v, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							t.Fatalf("unquoting %s: %v", lit.Value, err)
+						}
+						sites[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		t.Fatal("no Site* constants found in package faultinject")
+	}
+	return sites
+}
+
+func TestSitesCoversEveryDeclaredConstant(t *testing.T) {
+	registered := make(map[string]bool)
+	for _, s := range Sites() {
+		if registered[s] {
+			t.Errorf("Sites() lists %q twice", s)
+		}
+		registered[s] = true
+	}
+	decls := declaredSites(t)
+	for name, value := range decls {
+		if !registered[value] {
+			t.Errorf("constant %s = %q is not returned by Sites()", name, value)
+		}
+	}
+	if got, want := len(Sites()), len(decls); got != want {
+		t.Errorf("Sites() returns %d names, package declares %d Site* constants", got, want)
+	}
+}
+
+// injectCall matches a call to faultinject.Inject or faultinject.InjectWrite
+// (or a bare Inject/InjectWrite inside this package) and returns its site
+// argument expression.
+func injectCall(n ast.Node) (site ast.Expr, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall || len(call.Args) < 2 {
+		return nil, false
+	}
+	var fn string
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		pkg, isIdent := f.X.(*ast.Ident)
+		if !isIdent || pkg.Name != "faultinject" {
+			return nil, false
+		}
+		fn = f.Sel.Name
+	case *ast.Ident:
+		fn = f.Name
+	default:
+		return nil, false
+	}
+	if fn != "Inject" && fn != "InjectWrite" {
+		return nil, false
+	}
+	return call.Args[1], true
+}
+
+func TestEveryInjectCallSiteRegistered(t *testing.T) {
+	decls := declaredSites(t)
+	registered := make(map[string]bool)
+	for _, s := range Sites() {
+		registered[s] = true
+	}
+
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	calls := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture mirrors under testdata are not production call sites.
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			site, ok := injectCall(n)
+			if !ok {
+				return true
+			}
+			calls++
+			pos := fset.Position(site.Pos())
+			switch s := site.(type) {
+			case *ast.SelectorExpr:
+				if v, ok := decls[s.Sel.Name]; !ok {
+					t.Errorf("%s: Inject call names unknown constant %s", pos, s.Sel.Name)
+				} else if !registered[v] {
+					t.Errorf("%s: Inject call site %q is not in Sites()", pos, v)
+				}
+			case *ast.Ident:
+				if v, ok := decls[s.Name]; !ok {
+					t.Errorf("%s: Inject call names unknown constant %s", pos, s.Name)
+				} else if !registered[v] {
+					t.Errorf("%s: Inject call site %q is not in Sites()", pos, v)
+				}
+			case *ast.BasicLit:
+				t.Errorf("%s: Inject call uses a string literal site %s; declare a Site* constant and register it in Sites()", pos, s.Value)
+			default:
+				t.Errorf("%s: Inject call site is not a named Site* constant", pos)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	if calls == 0 {
+		t.Fatal("found no faultinject.Inject call sites in the tree — the scanner is broken")
+	}
+}

@@ -273,6 +273,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// Segmented-storage counters (DESIGN.md §14): sealed segments and bytes,
 	// tail occupancy, seal count, and zone-map segments pruned vs scanned.
 	body["storage"] = sys.StorageStats()
+	// Durable-store state (DESIGN.md §15), present only for disk-backed
+	// systems: WAL/segment/fsync counters, recovery outcome, and — when
+	// recovery quarantined corrupt segments — the degraded flag plus the
+	// quarantined files and row ranges. Degraded storage also flips the
+	// top-level status so naive health probes notice.
+	if ds, ok := sys.DurabilityStats(); ok {
+		body["durability"] = ds
+		if ds.Degraded {
+			body["status"] = "degraded"
+		}
+	}
 	// Shard-parallel build counters (DESIGN.md §12), plus GOMAXPROCS and the
 	// active shard count so capacity debugging needs no flag archaeology.
 	body["sharding"] = sys.ShardingStats()
@@ -391,6 +402,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tree := out.Tree
 	setCacheHeader(w, out.Hit)
 	setDegradedHeader(w, out.Degraded)
+	setStorageHeader(w, s.currentSystem())
 	maxDepth := boundOrDefault(req.MaxDepth, s.cfg.MaxDepth)
 	maxChildren := boundOrDefault(req.MaxChildren, s.cfg.MaxChildren)
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -472,6 +484,15 @@ func tightest(def, req time.Duration) time.Duration {
 func setDegradedHeader(w http.ResponseWriter, d repro.Degradation) {
 	if d != repro.DegradeNone {
 		w.Header().Set("X-Degraded", d.String())
+	}
+}
+
+// setStorageHeader marks responses served from a degraded durable store
+// (quarantined segments: the rows are correct but incomplete, DESIGN.md §15).
+// Added — not Set — so a response can carry both a ladder rung and "storage".
+func setStorageHeader(w http.ResponseWriter, sys *repro.System) {
+	if sys.StorageDegraded() {
+		w.Header().Add("X-Degraded", "storage")
 	}
 }
 
@@ -589,6 +610,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	setCacheHeader(w, out.Hit)
 	setDegradedHeader(w, out.Degraded)
 	sys := s.currentSystem()
+	setStorageHeader(w, sys)
 	writeJSON(w, http.StatusOK, refineResponse{
 		SQL:         refined.String(),
 		ResultCount: len(sys.Relation().Select(refined.Predicate())),

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench segmentbench check chaos crashchaos report examples fuzz lint lint-selfcheck ci clean
+.PHONY: all build test race bench bench-all servebench selectbench shardbench warmbench segmentbench check chaos crashchaos report examples fuzz lint lint-selfcheck lint-perf ci clean
 
 all: build test
 
@@ -40,6 +40,20 @@ lint-selfcheck:
 		echo "catlint failed to flag the seeded fixture violations" >&2; exit 1; \
 	else echo "catlint flags the seeded fixtures: ok"; fi
 	go test ./internal/lint
+
+# Perf gate: the interprocedural passes (call graph + effect summaries,
+# DESIGN.md §16) must keep a full-tree catlint run under 60 seconds, so the
+# suite stays cheap enough to sit in every CI run. Builds the binary first so
+# the timing measures analysis, not compilation.
+lint-perf:
+	@go build -o catlint ./cmd/catlint
+	@start=$$(date +%s); ./catlint -format=github ./... || exit 1; \
+	end=$$(date +%s); elapsed=$$((end - start)); \
+	echo "catlint full tree: $${elapsed}s"; \
+	if [ $$elapsed -ge 60 ]; then \
+		echo "catlint took $${elapsed}s, budget is 60s" >&2; exit 1; \
+	fi
+	@rm -f catlint
 
 # Everything CI runs, in CI's order.
 ci:

@@ -26,6 +26,9 @@ go run ./cmd/catlint ./...
 step "catlint self-check: seeded fixtures must fail, fixture tests must pass"
 make lint-selfcheck
 
+step "catlint perf gate: full-tree interprocedural run under 60s"
+make lint-perf
+
 step "go test"
 go test ./...
 

@@ -1,14 +1,17 @@
 // Command catlint runs the repository's project-specific static-analysis
-// suite (internal/lint): ten checks, each mechanizing an invariant a past
-// PR broke and then fixed by hand — see DESIGN.md §11.
+// suite (internal/lint): twelve checks, each mechanizing an invariant a past
+// PR broke and then fixed by hand — see DESIGN.md §11 and §16.
 //
 // Usage:
 //
-//	catlint [-json] [-checks a,b,c] [-list] [packages...]
+//	catlint [-format=text|json|github] [-checks a,b,c] [-list] [packages...]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 findings, 2 driver
-// error. Suppress one line with `//lint:ignore <check> <reason>` on the
-// offending line or the line above it.
+// error (including an unknown -checks name). -format=github emits GitHub
+// Actions ::error workflow commands so CI annotates the offending lines;
+// -json is kept as an alias for -format=json. Suppress one line with
+// `//lint:ignore <check> <reason>` on the offending line or the line above
+// it.
 package main
 
 import (
@@ -16,41 +19,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout (alias for -format=json)")
+	format := flag.String("format", "text", "output format: text, json, or github (GitHub Actions ::error commands)")
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	flag.Parse()
 
-	checks := lint.Checks()
 	if *list {
-		for _, c := range checks {
+		for _, c := range lint.Checks() {
 			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
 		}
 		return
 	}
-	if *checksFlag != "" {
-		keep := make(map[string]bool)
-		for _, name := range strings.Split(*checksFlag, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var selected []*lint.Check
-		for _, c := range checks {
-			if keep[c.Name] {
-				selected = append(selected, c)
-				delete(keep, c.Name)
-			}
-		}
-		for name := range keep {
-			fmt.Fprintf(os.Stderr, "catlint: unknown check %q (try -list)\n", name)
-			os.Exit(2)
-		}
-		checks = selected
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "catlint: unknown format %q (valid formats: text, json, github)\n", *format)
+		os.Exit(2)
+	}
+	checks, err := lint.SelectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catlint: %v\n", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -64,7 +62,8 @@ func main() {
 	}
 	diags := lint.Run(pkgs, lint.DefaultConfig(), checks)
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -74,7 +73,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "catlint: %v\n", err)
 			os.Exit(2)
 		}
-	} else {
+	case "github":
+		for _, d := range diags {
+			fmt.Println(d.GitHub())
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}

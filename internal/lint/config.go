@@ -78,12 +78,37 @@ type Config struct {
 	FsyncPkgs      []string
 	FsyncAllowPkgs []string
 
+	// FrozenPkgs are the packages whose publish-then-freeze (COW/RCU)
+	// discipline frozenguard enforces: any value that flows into a publish
+	// sink — an atomic.Pointer Store/Swap/CompareAndSwap, or a registered
+	// PublishSinks entry — is frozen at the publish site, and a later write
+	// reachable through it (directly, or via a callee whose effect summary
+	// mutates the argument) is flagged. PRs 2/6/8/9 each re-derived this rule
+	// by hand for a different structure; one stale-write slip serves a
+	// corrupted tree to every concurrent reader.
+	FrozenPkgs []string
+
+	// PublishSinks registers in-package publication functions beyond the
+	// sync/atomic methods: a call whose qualified name contains Func hands
+	// call argument Arg (0-based, receiver not counted) to concurrent
+	// readers. The treecache insert and the durable manifest writer are the
+	// repository's two non-atomic publication points.
+	PublishSinks []PublishSink
+
 	// NoCopyPkgs is the serving path for the copylocks-style nocopy check:
 	// types carrying mutexes or atomics — and the reference-semantics types
 	// listed in NoCopyTypes ("pkgpath.Type" substrings) — must not be passed
 	// or returned by value there.
 	NoCopyPkgs  []string
 	NoCopyTypes []string
+}
+
+// PublishSink names one publication function for frozenguard: calls whose
+// qualified name contains Func hand argument Arg (0-based, receiver not
+// counted) to concurrent readers.
+type PublishSink struct {
+	Func string
+	Arg  int
 }
 
 // DefaultConfig returns the repository's tuned configuration. The testdata
@@ -123,6 +148,15 @@ func DefaultConfig() *Config {
 			"internal/resilience", "internal/relation", "internal/category",
 		},
 		NoCopyTypes: []string{"internal/relation.Bitmap"},
+
+		FrozenPkgs: []string{
+			"repro", "internal/relation", "internal/treecache",
+			"internal/server", "internal/resilience",
+		},
+		PublishSinks: []PublishSink{
+			{Func: "treecache.Cache.insertLocked", Arg: 2},
+			{Func: "durable.Store.writeManifest", Arg: 1},
+		},
 	}
 }
 

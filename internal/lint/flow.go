@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// flow.go is the ordered traversal the two flow-sensitive checks (frozenguard,
+// lockguard) share: statements are visited in execution order, branches fork a
+// snapshot of the client's state and join afterwards, and a branch that
+// provably leaves the function (return, branch statement, panic) is excluded
+// from the join — which is exactly what makes the repository's dominant
+// critical-section shape, "mu.Lock(); if fast { …; mu.Unlock(); return }; …",
+// analyzable without a real CFG. Loop bodies are visited once with the
+// loop-entry state and their effects are discarded at the back edge: a lock
+// acquired (or a value published) inside an iteration is not assumed to hold
+// after the loop, while everything established before the loop still covers
+// the body. This is deliberately an approximation — source order stands in
+// for execution order inside a single basic block, and gotos terminate their
+// path — tuned so the checks stay precise on the shapes this tree actually
+// contains (see DESIGN.md §16).
+type flowOps struct {
+	// visit receives each leaf node — an expression-bearing statement
+	// (assignment, send, inc/dec, decl, return, go, defer, expression
+	// statement) or a bare condition/tag expression — in execution order.
+	// The client inspects it and mutates its own state; nested *ast.FuncLit
+	// bodies are the client's to schedule (inline, forked, or fresh-state).
+	visit func(n ast.Node)
+	// snap / restore / merge manage the client state around branches. merge
+	// receives the exit states of every branch that can fall through (at
+	// least one) and must install their join as the current state.
+	snap    func() any
+	restore func(any)
+	merge   func(outs []any)
+	// isPanic reports whether the call expression is a path terminator
+	// (builtin panic); supplied by the client so flow.go stays types-free.
+	isPanic func(call *ast.CallExpr) bool
+}
+
+// flowWalk traverses body in execution order under ops.
+func flowWalk(body *ast.BlockStmt, ops *flowOps) {
+	w := &flowWalker{ops: ops}
+	w.stmts(body.List)
+}
+
+type flowWalker struct {
+	ops *flowOps
+}
+
+// stmts walks a statement sequence, reporting whether the path terminated
+// (every successor statement is unreachable).
+func (w *flowWalker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.stmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) stmt(s ast.Stmt) (terminated bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.ops.visit(s.X)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.ops.isPanic(call) {
+			return true
+		}
+		return false
+	case *ast.ReturnStmt:
+		w.ops.visit(s)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path. Fallthrough does not.
+		return s.Tok.String() != "fallthrough"
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.ops.visit(s.Cond)
+		pre := w.ops.snap()
+		var outs []any
+		if !w.stmt(s.Body) {
+			outs = append(outs, w.ops.snap())
+		}
+		w.ops.restore(pre)
+		if s.Else != nil {
+			if !w.stmt(s.Else) {
+				outs = append(outs, w.ops.snap())
+			}
+			w.ops.restore(pre)
+		} else {
+			outs = append(outs, pre) // fall through around the if
+		}
+		if len(outs) == 0 {
+			return true
+		}
+		w.ops.merge(outs)
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.ops.visit(s.Cond)
+		}
+		pre := w.ops.snap()
+		w.stmt(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		w.ops.restore(pre) // loop-body effects don't survive the back edge
+		return false
+	case *ast.RangeStmt:
+		w.ops.visit(s.X)
+		pre := w.ops.snap()
+		w.stmt(s.Body)
+		w.ops.restore(pre)
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.ops.visit(s.Tag)
+		}
+		return w.clauses(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		return w.clauses(s.Body.List)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List)
+	default:
+		// AssignStmt, IncDecStmt, SendStmt, DeclStmt, GoStmt, DeferStmt,
+		// EmptyStmt — leaves the client inspects whole.
+		w.ops.visit(s)
+		return false
+	}
+}
+
+// clauses walks the case/comm clauses of a switch or select: each clause runs
+// from the pre-switch state, and the states of every clause that can fall out
+// join afterwards. Without a default the zero-clause path falls through too.
+func (w *flowWalker) clauses(list []ast.Stmt) bool {
+	pre := w.ops.snap()
+	hasDefault := false
+	var outs []any
+	for _, cs := range list {
+		w.ops.restore(pre)
+		var body []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				w.ops.visit(e)
+			}
+			body = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(cs.Comm)
+			}
+			body = cs.Body
+		default:
+			continue
+		}
+		if !w.stmts(body) {
+			outs = append(outs, w.ops.snap())
+		}
+	}
+	w.ops.restore(pre)
+	if !hasDefault {
+		outs = append(outs, pre)
+	}
+	if len(outs) == 0 {
+		return true
+	}
+	w.ops.merge(outs)
+	return false
+}

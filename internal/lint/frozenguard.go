@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"strings"
+)
+
+// frozenguard mechanizes the publish-then-freeze discipline every RCU/COW
+// structure in this repository depends on: once a value flows into a publish
+// sink — an atomic.Pointer Store/Swap/CompareAndSwap, the treecache insert,
+// the durable manifest writer, or anything else registered in
+// Config.PublishSinks — concurrent readers hold it, so every byte reachable
+// from it is frozen. PR 2 (System snapshots), PR 6 (RCU row store), PR 8
+// (shared projection/bitmap extension), and PR 9 (manifest structs) each
+// re-derived this rule by hand, and each had a near-miss where a "done"
+// object got one more touch-up after the Store. The check walks each
+// function in execution order (flow.go), freezing the access paths of
+// published values and their aliases, and reports any later write that lands
+// inside a frozen path — directly, through a mutating builtin (append/copy/
+// clear write shared backing), or through a callee whose effect summary
+// (summary.go) says it mutates the argument. Rebinding a frozen variable
+// (x = fresh) un-freezes it: re-pointing the name is exactly how COW is
+// supposed to continue. Publishing &x is different — the pointee is x
+// itself, so even a plain rebind of x is a post-publish write.
+var checkFrozenGuard = &Check{
+	Name: "frozenguard",
+	Doc:  "no writes to a value after it was published to concurrent readers (COW/RCU freeze)",
+	Run:  runFrozenGuard,
+}
+
+func runFrozenGuard(pass *Pass) {
+	if !matchPkg(pass.Path, pass.Cfg.FrozenPkgs) {
+		return
+	}
+	an := pass.substrate()
+	for _, n := range an.graph.nodes {
+		if n.decl == nil {
+			continue // literals are walked inline from their enclosing decl
+		}
+		w := &frozenWalk{
+			pass:   pass,
+			an:     an,
+			env:    newPathEnv(pass.Info),
+			frozen: make(map[string]frozenRec),
+		}
+		flowWalk(n.body, w.ops())
+	}
+}
+
+// frozenRec is one published value: where it was published, how to name it
+// in diagnostics, and whether its address (rather than its value) escaped —
+// in which case even rebinding the variable writes the published pointee.
+type frozenRec struct {
+	pos  token.Pos
+	expr string
+	addr bool
+}
+
+// frozenState is the flow state: frozen paths plus the pathEnv's alias and
+// freshness tables (canonical keys depend on them).
+type frozenState struct {
+	frozen map[string]frozenRec
+	alias  map[types.Object]apath
+	fresh  map[types.Object]bool
+}
+
+type frozenWalk struct {
+	pass   *Pass
+	an     *packageAnalysis
+	env    *pathEnv
+	frozen map[string]frozenRec
+}
+
+func (w *frozenWalk) ops() *flowOps {
+	return &flowOps{
+		visit:   w.visit,
+		snap:    func() any { return w.snapState() },
+		restore: func(s any) { w.restoreState(s.(*frozenState)) },
+		merge:   w.merge,
+		isPanic: func(c *ast.CallExpr) bool { return isBuiltin(w.pass.Info, c, "panic") },
+	}
+}
+
+func (w *frozenWalk) snapState() *frozenState {
+	return &frozenState{
+		frozen: maps.Clone(w.frozen),
+		alias:  maps.Clone(w.env.alias),
+		fresh:  maps.Clone(w.env.fresh),
+	}
+}
+
+// restoreState installs clones — the walker keeps snapshots immutable so a
+// branch's sibling can be replayed from the same point.
+func (w *frozenWalk) restoreState(s *frozenState) {
+	w.frozen = maps.Clone(s.frozen)
+	w.env.alias = maps.Clone(s.alias)
+	w.env.fresh = maps.Clone(s.fresh)
+}
+
+// merge joins branch exits: frozen paths union (a value published on either
+// arm is published — earliest site wins the message), aliases and freshness
+// intersect (a fact must hold on every arm to survive).
+func (w *frozenWalk) merge(outs []any) {
+	first := outs[0].(*frozenState)
+	frozen := maps.Clone(first.frozen)
+	alias := maps.Clone(first.alias)
+	fresh := maps.Clone(first.fresh)
+	for _, o := range outs[1:] {
+		s := o.(*frozenState)
+		for k, r := range s.frozen {
+			if ex, ok := frozen[k]; !ok || r.pos < ex.pos {
+				frozen[k] = r
+			}
+		}
+		for obj, p := range alias {
+			if q, ok := s.alias[obj]; !ok || !apathEq(p, q) {
+				delete(alias, obj)
+			}
+		}
+		for obj := range fresh {
+			if !s.fresh[obj] {
+				delete(fresh, obj)
+			}
+		}
+	}
+	w.restoreState(&frozenState{frozen: frozen, alias: alias, fresh: fresh})
+}
+
+// visit handles one leaf node from the flow walker in source order.
+func (w *frozenWalk) visit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// The literal runs under some schedule we can't see (deferred,
+			// goroutine, stored callback): walk it against a clone of the
+			// current state so violations inside are reported but its
+			// effects don't leak into this path.
+			saved := w.snapState()
+			flowWalk(x.Body, w.ops())
+			w.restoreState(saved)
+			return false
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.DeclStmt:
+			w.env.bindStmt(x)
+		case *ast.IncDecStmt:
+			w.checkWrite(x.X, x.X.Pos())
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+func (w *frozenWalk) assign(x *ast.AssignStmt) {
+	for _, lhs := range x.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			w.rebind(id)
+			continue
+		}
+		w.checkWrite(lhs, lhs.Pos())
+	}
+	w.env.bindStmt(x)
+}
+
+// rebind handles assignment to a plain identifier: if its address was
+// published, the rebind writes the published pointee; otherwise a rebind
+// re-points the name at new storage, un-freezing it.
+func (w *frozenWalk) rebind(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		obj = w.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if _, aliased := w.env.alias[obj]; aliased {
+		return // re-points the alias; bindStmt records the new target
+	}
+	k := w.env.key(apath{root: obj})
+	if rec, ok := w.frozen[k]; ok && rec.addr {
+		w.pass.Reportf(id.Pos(),
+			"write to %s after &%s was published at line %d; published state is frozen (copy-on-write)",
+			id.Name, rec.expr, w.line(rec.pos))
+		return
+	}
+	delete(w.frozen, k)
+	for fk := range w.frozen { // deeper paths through the old value are gone
+		if strings.HasPrefix(fk, k+".") {
+			delete(w.frozen, fk)
+		}
+	}
+}
+
+// checkWrite reports a write whose target lies inside a frozen path. An
+// exact match on a value-published (non-addr, non-indirect) path is a field
+// rebind — the published pointee is untouched — and un-freezes instead.
+func (w *frozenWalk) checkWrite(lv ast.Expr, pos token.Pos) {
+	p, ok := w.env.resolve(lv)
+	if !ok {
+		return
+	}
+	k := w.env.key(p)
+	for fk, rec := range w.frozen {
+		if fk != k && !strings.HasPrefix(k, fk+".") {
+			continue
+		}
+		if fk == k && !rec.addr && !p.deref {
+			delete(w.frozen, k)
+			return
+		}
+		w.pass.Reportf(pos,
+			"write to %s mutates %s, published at line %d; published state is frozen (copy-on-write)",
+			p.display(), rec.expr, w.line(rec.pos))
+		return
+	}
+}
+
+func (w *frozenWalk) call(x *ast.CallExpr) {
+	info := w.pass.Info
+	// Mutating builtins write the shared backing of their destination:
+	// append into spare capacity, copy and clear in place.
+	if isBuiltin(info, x, "append") || isBuiltin(info, x, "copy") || isBuiltin(info, x, "clear") {
+		if len(x.Args) > 0 {
+			w.checkBacking(x.Args[0], x.Pos())
+		}
+	}
+	// Callee effect summaries: passing a frozen path to a function that
+	// writes through that parameter is a post-publish write at a distance.
+	if callee := w.an.graph.resolveCallee(x.Fun); callee != nil {
+		cs := w.an.sums[callee]
+		args := callArgSlots(info, x, callee)
+		for i := 0; i < len(cs.mutates) && i < len(args); i++ {
+			if args[i] == nil {
+				continue
+			}
+			if cs.mutates[i] {
+				w.checkCallArg(args[i], callee.name, x.Pos())
+			}
+			if cs.publishes[i] {
+				w.freeze(args[i], x.Pos())
+			}
+		}
+	}
+	// Direct publish sinks freeze their value argument.
+	for _, arg := range publishTargets(w.pass, x) {
+		w.freeze(arg, x.Pos())
+	}
+}
+
+// checkBacking reports a mutating builtin whose destination overlaps a
+// frozen path (no rebind exemption: the builtin writes through).
+func (w *frozenWalk) checkBacking(dst ast.Expr, pos token.Pos) {
+	p, ok := w.env.resolve(dst)
+	if !ok {
+		return
+	}
+	k := w.env.key(p)
+	for fk, rec := range w.frozen {
+		if fk == k || strings.HasPrefix(k, fk+".") {
+			w.pass.Reportf(pos,
+				"append/copy/clear writes the backing of %s, published at line %d; published state is frozen (copy-on-write)",
+				p.display(), w.line(rec.pos))
+			return
+		}
+	}
+}
+
+func (w *frozenWalk) checkCallArg(arg ast.Expr, callee string, pos token.Pos) {
+	p, ok := w.env.resolve(arg)
+	if !ok {
+		return
+	}
+	k := w.env.key(p)
+	for fk, rec := range w.frozen {
+		if fk == k || strings.HasPrefix(k, fk+".") {
+			w.pass.Reportf(pos,
+				"call to %s mutates %s, published at line %d; published state is frozen (copy-on-write)",
+				callee, p.display(), w.line(rec.pos))
+			return
+		}
+	}
+}
+
+// freeze records a published value. &x freezes x with addr semantics; a
+// value publish freezes the path itself. First publish site wins.
+func (w *frozenWalk) freeze(arg ast.Expr, pos token.Pos) {
+	e := ast.Unparen(arg)
+	addr := false
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		addr = true
+		e = u.X
+	}
+	p, ok := w.env.resolve(e)
+	if !ok {
+		return
+	}
+	k := w.env.key(p)
+	if _, ok := w.frozen[k]; !ok {
+		w.frozen[k] = frozenRec{pos: pos, expr: p.display(), addr: addr}
+	}
+	delete(w.env.fresh, p.root) // published means shared
+}
+
+func (w *frozenWalk) line(pos token.Pos) int {
+	return w.pass.Fset.Position(pos).Line
+}

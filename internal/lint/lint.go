@@ -45,6 +45,11 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// analysis caches the interprocedural substrate (call graph + effect
+	// summaries) so one build serves every deep check in a Run. Built lazily
+	// by Pass.substrate.
+	analysis *packageAnalysis
 }
 
 // Check is one named analysis run over a type-checked package.
@@ -95,7 +100,39 @@ func Checks() []*Check {
 		checkWarmGuard,
 		checkSegGuard,
 		checkFsyncGuard,
+		checkFrozenGuard,
+		checkLockGuard,
 	}
+}
+
+// SelectChecks resolves a comma-separated check-name list against the suite.
+// An empty spec selects every check. Unknown names are an error that lists
+// the valid names — running zero checks because of a typo must not look like
+// a clean tree.
+func SelectChecks(spec string) ([]*Check, error) {
+	all := Checks()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Check, len(all))
+	names := make([]string, 0, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+		names = append(names, c.Name)
+	}
+	var out []*Check
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (valid checks: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // Run executes the checks over the packages, filters suppressed findings
@@ -122,7 +159,41 @@ func Run(pkgs []*Package, cfg *Config, checks []*Check) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message // deterministic dedup survivor
 	})
-	return diags
+	return dedup(diags)
+}
+
+// dedup drops diagnostics that repeat an identical (position, check) pair —
+// the interprocedural checks can derive the same finding along several call
+// paths, and -json output must stay stable regardless of which path reports
+// first. The input is position-sorted, so duplicates are adjacent; the first
+// (lexically smallest) message wins.
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.File == d.File && p.Line == d.Line && p.Col == d.Col && p.Check == d.Check {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// GitHub renders the diagnostic as a GitHub Actions workflow command
+// (::error file=…) so CI annotates the offending line. Property values and
+// the message use the documented %-escapes.
+func (d Diagnostic) GitHub() string {
+	prop := func(s string) string {
+		r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+		return r.Replace(s)
+	}
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(d.Check + ": " + d.Message)
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s", prop(d.File), d.Line, d.Col, msg)
 }

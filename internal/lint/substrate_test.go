@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The substrate tests type-check small import-free sources in memory and
+// probe the call graph and effect summaries directly — the deep checks'
+// correctness rests on these two layers resolving methods, closures, method
+// values, and generic instantiations, and on the summary fixpoint
+// converging over call cycles.
+
+func typeCheckSrc(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	var diags []Diagnostic
+	return &Pass{
+		Package: &Package{Path: "fix", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info},
+		Cfg:     DefaultConfig(),
+		check:   "test",
+		diags:   &diags,
+	}
+}
+
+func graphNode(t *testing.T, g *callGraph, name string) *cgNode {
+	t.Helper()
+	for _, n := range g.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	var names []string
+	for _, n := range g.nodes {
+		names = append(names, n.name)
+	}
+	t.Fatalf("no node %q in call graph (have %s)", name, strings.Join(names, ", "))
+	return nil
+}
+
+func hasEdge(from, to *cgNode, kind cgKind) bool {
+	for _, e := range from.out {
+		if e.callee == to && e.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphResolution(t *testing.T) {
+	pass := typeCheckSrc(t, `package fix
+
+type node struct{ n int }
+
+func (x *node) bump() { x.n++ }
+
+func plain() {}
+
+// direct covers plain calls, method calls, and an inline literal call.
+func direct(x *node) {
+	plain()
+	x.bump()
+	func() { plain() }()
+}
+
+// bound covers a lit-bound variable called later, and a method value
+// stored and passed as a callback.
+func bound(x *node) {
+	f := func() { plain() }
+	f()
+	g := x.bump
+	run(g)
+}
+
+func run(f func()) { f() }
+
+// spawn covers go/defer edge kinds.
+func spawn(x *node) {
+	go plain()
+	defer x.bump()
+}
+`)
+	g := buildCallGraph(pass)
+
+	direct := graphNode(t, g, "direct")
+	plain := graphNode(t, g, "plain")
+	bump := graphNode(t, g, "node.bump")
+	if !hasEdge(direct, plain, cgCall) {
+		t.Errorf("direct -> plain call edge missing")
+	}
+	if !hasEdge(direct, bump, cgCall) {
+		t.Errorf("direct -> node.bump method call edge missing")
+	}
+	lit := graphNode(t, g, "direct$1")
+	if !hasEdge(direct, lit, cgCall) {
+		t.Errorf("direct -> its inline literal call edge missing")
+	}
+	if !hasEdge(lit, plain, cgCall) {
+		t.Errorf("literal -> plain call edge missing")
+	}
+
+	bound := graphNode(t, g, "bound")
+	blit := graphNode(t, g, "bound$1")
+	if !hasEdge(bound, blit, cgCall) {
+		t.Errorf("bound -> lit-bound variable call edge missing")
+	}
+	if !hasEdge(bound, bump, cgRef) {
+		t.Errorf("bound -> node.bump method-value ref edge missing")
+	}
+
+	spawn := graphNode(t, g, "spawn")
+	if !hasEdge(spawn, plain, cgGo) {
+		t.Errorf("spawn -> plain go edge missing")
+	}
+	if !hasEdge(spawn, bump, cgDefer) {
+		t.Errorf("spawn -> node.bump defer edge missing")
+	}
+}
+
+// TestCallGraphGenerics pins the Origin() normalization: a method called on
+// an instantiated generic type must resolve to the node of its generic
+// declaration (the real tree's Cache[V].insertLocked regression).
+func TestCallGraphGenerics(t *testing.T) {
+	pass := typeCheckSrc(t, `package fix
+
+type box[T any] struct{ v T }
+
+func (b *box[T]) set(v T) { b.v = v }
+
+func use() {
+	b := &box[int]{}
+	b.set(1)
+}
+`)
+	g := buildCallGraph(pass)
+	use := graphNode(t, g, "use")
+	set := graphNode(t, g, "box.set")
+	if !hasEdge(use, set, cgCall) {
+		t.Fatalf("use -> box.set edge missing: instantiated method did not resolve to its generic declaration")
+	}
+}
+
+// TestSummaryFixpoint checks that mutation effects propagate through a call
+// cycle to a fixpoint: a and b call each other, only b writes through the
+// parameter, and both must end up summarized as mutating slot 0. leaf
+// writes nothing and must stay clean.
+func TestSummaryFixpoint(t *testing.T) {
+	pass := typeCheckSrc(t, `package fix
+
+func a(p *int, depth int) {
+	if depth > 0 {
+		b(p, depth-1)
+	}
+}
+
+func b(p *int, depth int) {
+	if depth > 1 {
+		a(p, depth-1)
+		return
+	}
+	*p = 1
+}
+
+func leaf(p *int) int { return *p }
+`)
+	an := pass.substrate()
+	for _, name := range []string{"a", "b"} {
+		n := graphNode(t, an.graph, name)
+		sum := an.sums[n]
+		if sum == nil || len(sum.mutates) == 0 || !sum.mutates[0] {
+			t.Errorf("%s: expected slot 0 summarized as mutated, got %+v", name, sum)
+		}
+	}
+	leaf := graphNode(t, an.graph, "leaf")
+	if sum := an.sums[leaf]; sum != nil && len(sum.mutates) > 0 && sum.mutates[0] {
+		t.Errorf("leaf: read-only function summarized as mutating")
+	}
+}
+
+// TestSummaryReceiverSlot checks that a method's receiver occupies slot 0
+// and a write through it is charged there.
+func TestSummaryReceiverSlot(t *testing.T) {
+	pass := typeCheckSrc(t, `package fix
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+func (c *counter) get() int { return c.n }
+`)
+	an := pass.substrate()
+	inc := graphNode(t, an.graph, "counter.inc")
+	if sum := an.sums[inc]; sum == nil || len(sum.mutates) == 0 || !sum.mutates[0] {
+		t.Errorf("counter.inc: receiver write not summarized on slot 0: %+v", sum)
+	}
+	get := graphNode(t, an.graph, "counter.get")
+	if sum := an.sums[get]; sum != nil && len(sum.mutates) > 0 && sum.mutates[0] {
+		t.Errorf("counter.get: read-only method summarized as mutating")
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := SelectChecks("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if len(all) != len(Checks()) {
+		t.Fatalf("empty spec selected %d checks, want %d", len(all), len(Checks()))
+	}
+
+	got, err := SelectChecks("lockguard, frozenguard")
+	if err != nil {
+		t.Fatalf("valid spec: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "lockguard" || got[1].Name != "frozenguard" {
+		t.Fatalf("valid spec selected %v", got)
+	}
+
+	_, err = SelectChecks("lockguard,nosuch")
+	if err == nil {
+		t.Fatalf("unknown check name did not error")
+	}
+	if !strings.Contains(err.Error(), `unknown check "nosuch"`) {
+		t.Errorf("error %q does not name the unknown check", err)
+	}
+	if !strings.Contains(err.Error(), "lockguard") {
+		t.Errorf("error %q does not list the valid checks", err)
+	}
+}
+
+func TestDedupDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Check: "lockguard", File: "a.go", Line: 3, Col: 4, Message: "first"},
+		{Check: "lockguard", File: "a.go", Line: 3, Col: 4, Message: "second pass, same finding"},
+		{Check: "frozenguard", File: "a.go", Line: 3, Col: 4, Message: "different check survives"},
+		{Check: "lockguard", File: "a.go", Line: 3, Col: 9, Message: "different column survives"},
+		{Check: "lockguard", File: "b.go", Line: 3, Col: 4, Message: "different file survives"},
+	}
+	// dedup expects Run's sorted order: position, then check, then message.
+	got := dedup([]Diagnostic{diags[0], diags[1], diags[2], diags[3], diags[4]})
+	if len(got) != 4 {
+		t.Fatalf("dedup kept %d diagnostics, want 4: %v", len(got), got)
+	}
+	if got[0].Message != "first" {
+		t.Errorf("dedup kept %q, want the first of the identical pair", got[0].Message)
+	}
+}
+
+func TestDiagnosticGitHubFormat(t *testing.T) {
+	d := Diagnostic{
+		Check:   "lockguard",
+		File:    "internal/x/y.go",
+		Line:    12,
+		Col:     7,
+		Message: "bad, worse: 50% broken\nsecond line",
+	}
+	got := d.GitHub()
+	// Properties escape : and , ; the message escapes %, \r, \n only.
+	want := "::error file=internal/x/y.go,line=12,col=7::lockguard: bad, worse: 50%25 broken%0Asecond line"
+	if got != want {
+		t.Fatalf("GitHub() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,553 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// summary.go computes per-function effect summaries over the call graph: for
+// every parameter slot (receiver first), whether the function writes through
+// storage the caller can still see, and whether the argument escapes into a
+// publish sink. Effects propagate through call sites to a fixpoint, so
+// mutual recursion converges; a literal's writes through free variables are
+// attributed straight to the enclosing function that owns them. Alongside
+// the summaries live the access-path machinery (apath, resolvePath, pathEnv)
+// the flow-sensitive checks share. DESIGN.md §16 documents the lattice.
+
+// apath is an access path: a root object plus the field names selected from
+// it, outermost first. Pointer dereferences, indexing, slicing, and type
+// assertions are transparent — x, *x, and x[i] all name storage reachable
+// from x — but crossing one sets deref, which distinguishes a write into
+// shared backing from a plain rebinding of the root.
+type apath struct {
+	root   types.Object
+	fields []string
+	deref  bool
+}
+
+func apathEq(a, b apath) bool {
+	if a.root != b.root || a.deref != b.deref || len(a.fields) != len(b.fields) {
+		return false
+	}
+	for i := range a.fields {
+		if a.fields[i] != b.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// display renders the path for diagnostics (root.f.g).
+func (p apath) display() string {
+	s := "<?>"
+	if p.root != nil {
+		s = p.root.Name()
+	}
+	if len(p.fields) > 0 {
+		s += "." + strings.Join(p.fields, ".")
+	}
+	return s
+}
+
+// resolvePath reduces an expression to the access path it names, or reports
+// failure for anything rooted in a call result, literal, or non-variable.
+// Only real struct fields extend the path; method selections fail.
+func resolvePath(info *types.Info, e ast.Expr) (apath, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return resolvePath(info, e.X)
+	case *ast.StarExpr:
+		p, ok := resolvePath(info, e.X)
+		p.deref = true
+		return p, ok
+	case *ast.IndexExpr:
+		p, ok := resolvePath(info, e.X)
+		p.deref = true
+		return p, ok
+	case *ast.SliceExpr:
+		p, ok := resolvePath(info, e.X)
+		p.deref = true
+		return p, ok
+	case *ast.TypeAssertExpr:
+		return resolvePath(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolvePath(info, e.X)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() != types.FieldVal {
+				return apath{}, false
+			}
+			p, ok := resolvePath(info, e.X)
+			if !ok {
+				return apath{}, false
+			}
+			p.fields = append(p.fields, e.Sel.Name)
+			if sel.Indirect() {
+				p.deref = true
+			}
+			return p, true
+		}
+		// Package-qualified variable (pkg.Var).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return apath{root: v}, true
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return apath{root: v}, true
+		}
+	}
+	return apath{}, false
+}
+
+// pathEnv canonicalizes access paths during one function walk: objects get
+// stable ids for map keys, locals assigned from another path (snap := r.seg)
+// resolve through the alias table so both spellings name the same storage,
+// and locals bound to a fresh allocation are tracked as not-yet-shared. The
+// alias and fresh tables are flow state — clients clone them at branch forks.
+type pathEnv struct {
+	info  *types.Info
+	ids   map[types.Object]int
+	alias map[types.Object]apath
+	fresh map[types.Object]bool
+}
+
+func newPathEnv(info *types.Info) *pathEnv {
+	return &pathEnv{
+		info:  info,
+		ids:   make(map[types.Object]int),
+		alias: make(map[types.Object]apath),
+		fresh: make(map[types.Object]bool),
+	}
+}
+
+// resolve is resolvePath followed by alias canonicalization.
+func (e *pathEnv) resolve(x ast.Expr) (apath, bool) {
+	p, ok := resolvePath(e.info, x)
+	if !ok {
+		return p, false
+	}
+	return e.canon(p), true
+}
+
+// canon rewrites the path's root through the alias table. Entries are stored
+// canonical, so one step normally suffices; the loop is bounded defensively.
+func (e *pathEnv) canon(p apath) apath {
+	for i := 0; i < 8; i++ {
+		base, ok := e.alias[p.root]
+		if !ok {
+			return p
+		}
+		np := apath{root: base.root, deref: p.deref || base.deref}
+		np.fields = append(append([]string(nil), base.fields...), p.fields...)
+		p = np
+	}
+	return p
+}
+
+// key renders a canonical map key for the path (no deref bit: x and *x share
+// storage and must collide).
+func (e *pathEnv) key(p apath) string {
+	id, ok := e.ids[p.root]
+	if !ok {
+		id = len(e.ids)
+		e.ids[p.root] = id
+	}
+	if len(p.fields) == 0 {
+		return fmt.Sprintf("o%d", id)
+	}
+	return fmt.Sprintf("o%d.%s", id, strings.Join(p.fields, "."))
+}
+
+// isFresh reports whether the path is rooted at a local still known to be
+// unshared (bound to a composite literal or new(T) and not re-assigned).
+func (e *pathEnv) isFresh(p apath) bool {
+	return e.fresh[p.root]
+}
+
+// bind records what an assignment to a plain identifier teaches the walk:
+// a fresh allocation makes the local unshared, another access path makes it
+// an alias, anything else clears both facts.
+func (e *pathEnv) bind(lhs *ast.Ident, rhs ast.Expr) {
+	if lhs.Name == "_" {
+		return
+	}
+	obj := e.info.Defs[lhs]
+	if obj == nil {
+		obj = e.info.Uses[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	delete(e.alias, obj)
+	delete(e.fresh, obj)
+	if rhs == nil {
+		return
+	}
+	if isFreshExpr(e.info, rhs) {
+		e.fresh[obj] = true
+		return
+	}
+	if p, ok := resolvePath(e.info, rhs); ok {
+		cp := e.canon(p)
+		if cp.root != obj {
+			e.alias[obj] = cp
+		}
+	}
+}
+
+// bindStmt applies bind to every ident := path pair in an assignment or var
+// declaration the walker hands it.
+func (e *pathEnv) bindStmt(n ast.Node) {
+	pair := func(lhs, rhs ast.Expr) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			e.bind(id, rhs)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				pair(n.Lhs[i], n.Rhs[i])
+			}
+		} else {
+			for _, lhs := range n.Lhs { // multi-value rhs: facts unknown
+				pair(lhs, nil)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						e.bind(name, vs.Values[i])
+					} else {
+						e.bind(name, nil)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isFreshExpr reports whether the expression allocates unshared storage: a
+// composite literal, its address, or new(T).
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isFreshExpr(info, e.X)
+	case *ast.CallExpr:
+		return isBuiltin(info, e, "new")
+	}
+	return false
+}
+
+// paramSlots lists a node's parameter objects, receiver first. Unnamed
+// parameters hold a nil slot so positions line up with call arguments.
+func paramSlots(info *types.Info, n *cgNode) []types.Object {
+	var out []types.Object
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	if n.decl != nil {
+		add(n.decl.Recv)
+		add(n.decl.Type.Params)
+	} else if n.lit != nil {
+		add(n.lit.Type.Params)
+	}
+	return out
+}
+
+func slotOf(slots []types.Object, obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	for i, s := range slots {
+		if s != nil && s == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// callArgSlots aligns a call's argument expressions with the callee's
+// parameter slots: the receiver expression first for method calls (nil when
+// it has no usable expression), then the plain arguments. Variadic overflow
+// past the declared slots is simply ignored by callers indexing with the
+// slot list's length.
+func callArgSlots(info *types.Info, call *ast.CallExpr, callee *cgNode) []ast.Expr {
+	var out []ast.Expr
+	args := call.Args
+	if callee.decl != nil && callee.decl.Recv != nil {
+		var recv ast.Expr
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok {
+				switch s.Kind() {
+				case types.MethodVal:
+					recv = sel.X
+				case types.MethodExpr: // T.M(recv, …)
+					if len(args) > 0 {
+						recv = args[0]
+						args = args[1:]
+					}
+				}
+			}
+		}
+		out = append(out, recv)
+	}
+	return append(out, args...)
+}
+
+// atomicPublishArg returns the value expression a sync/atomic method call
+// publishes (Store/Swap arg 0, CompareAndSwap's new value), or nil.
+func atomicPublishArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	named, ok := derefNamed(s.Recv())
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap":
+		if len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) > 1 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// publishTargets returns the value expressions this call publishes: the
+// sync/atomic publication methods plus the Config.PublishSinks registry.
+// Only reference-like values (pointers, slices, maps, chans) are tracked —
+// publishing an int copies it, so nothing stays reachable to freeze — and
+// self-synchronized objects (structs carrying their own mutex, like the
+// Warmer handle) are exempt: they are live service objects published for
+// access, not COW snapshots, and their interior mutation is lockguard's
+// jurisdiction, not frozenguard's.
+func publishTargets(pass *Pass, call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	track := func(arg ast.Expr) {
+		if refLike(pass.Info, arg) && !selfSynchronized(pass.Info, arg) {
+			out = append(out, arg)
+		}
+	}
+	if arg := atomicPublishArg(pass.Info, call); arg != nil {
+		track(arg)
+	}
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		q := qualifiedName(fn)
+		for _, s := range pass.Cfg.PublishSinks {
+			if strings.Contains(q, s.Func) && s.Arg >= 0 && s.Arg < len(call.Args) {
+				track(call.Args[s.Arg])
+			}
+		}
+	}
+	return out
+}
+
+// selfSynchronized reports whether the expression's (dereferenced) struct
+// type directly carries a sync.Mutex/RWMutex field.
+func selfSynchronized(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func refLike(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// summary is one node's caller-visible effects, indexed by parameter slot.
+type summary struct {
+	mutates   []bool // writes storage still reachable from the argument
+	publishes []bool // the argument escapes into a publish sink
+}
+
+// packageAnalysis is the lazily-built substrate the deep checks share: the
+// call graph plus effect summaries and per-node slot lists. It is cached on
+// the Package so one build serves every check of a Run; Run holds the Config
+// fixed, which keeps the cached sink registry coherent.
+type packageAnalysis struct {
+	graph *callGraph
+	sums  map[*cgNode]*summary
+	slots map[*cgNode][]types.Object
+}
+
+// substrate returns the package's analysis substrate, building it on first
+// use.
+func (p *Pass) substrate() *packageAnalysis {
+	if p.Package.analysis == nil {
+		g := buildCallGraph(p)
+		slots := make(map[*cgNode][]types.Object, len(g.nodes))
+		for _, n := range g.nodes {
+			slots[n] = paramSlots(p.Info, n)
+		}
+		p.Package.analysis = &packageAnalysis{
+			graph: g,
+			sums:  computeSummaries(p, g, slots),
+			slots: slots,
+		}
+	}
+	return p.Package.analysis
+}
+
+// computeSummaries derives direct effects from each node's own body, then
+// propagates them through call sites to a fixpoint. A literal's effect on a
+// free variable owned by an enclosing function is charged directly to that
+// function (the literal runs, at the latest, by the cgRef approximation).
+func computeSummaries(pass *Pass, g *callGraph, slots map[*cgNode][]types.Object) map[*cgNode]*summary {
+	info := pass.Info
+	sums := make(map[*cgNode]*summary, len(g.nodes))
+	for _, n := range g.nodes {
+		ns := len(slots[n])
+		sums[n] = &summary{mutates: make([]bool, ns), publishes: make([]bool, ns)}
+	}
+
+	// mark finds the innermost node (starting at n, walking enclosures) that
+	// owns root as a parameter and sets the effect there. Reports change.
+	mark := func(n *cgNode, root types.Object, publish bool) bool {
+		for a := n; a != nil; a = a.enclosing {
+			if slot := slotOf(slots[a], root); slot >= 0 {
+				s := sums[a]
+				if publish {
+					if !s.publishes[slot] {
+						s.publishes[slot] = true
+						return true
+					}
+				} else if !s.mutates[slot] {
+					s.mutates[slot] = true
+					return true
+				}
+				return false
+			}
+		}
+		return false
+	}
+
+	// markWrite charges a write through an lvalue. A plain rebinding of the
+	// root (x = v) is not a caller-visible effect; a write that crossed an
+	// indirection (p.f via pointer, x[i], *p) or a mutating builtin's
+	// destination is.
+	markWrite := func(n *cgNode, lv ast.Expr, force bool) {
+		p, ok := resolvePath(info, lv)
+		if !ok {
+			return
+		}
+		if p.deref || force {
+			mark(n, p.root, false)
+		}
+	}
+
+	for _, n := range g.nodes {
+		n.inspectOwn(func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					markWrite(n, lhs, false)
+				}
+			case *ast.IncDecStmt:
+				markWrite(n, x.X, false)
+			case *ast.CallExpr:
+				if isBuiltin(info, x, "append") || isBuiltin(info, x, "copy") || isBuiltin(info, x, "clear") {
+					if len(x.Args) > 0 {
+						markWrite(n, x.Args[0], true)
+					}
+				}
+				for _, arg := range publishTargets(pass, x) {
+					if p, ok := resolvePath(info, arg); ok {
+						mark(n, p.root, true)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate through call sites until nothing changes.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			for _, e := range n.out {
+				if e.site == nil {
+					continue
+				}
+				cs := sums[e.callee]
+				args := callArgSlots(info, e.site, e.callee)
+				for i := 0; i < len(cs.mutates) && i < len(args); i++ {
+					if args[i] == nil || (!cs.mutates[i] && !cs.publishes[i]) {
+						continue
+					}
+					p, ok := resolvePath(info, args[i])
+					if !ok {
+						continue
+					}
+					if cs.mutates[i] && mark(n, p.root, false) {
+						changed = true
+					}
+					if cs.publishes[i] && mark(n, p.root, true) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sums
+}

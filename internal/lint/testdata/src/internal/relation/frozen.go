@@ -1,0 +1,107 @@
+// frozen.go seeds the frozenguard fixture: publish-then-write in every
+// shape the check must catch — direct writes, writes through an alias,
+// mutation at a distance through a callee's effect summary, appends into
+// published backing, and rebinds of a variable whose address escaped — plus
+// the legal COW idioms (copy-then-publish, rebind-then-continue) that must
+// stay quiet.
+package relation
+
+import "sync/atomic"
+
+// treeNode mirrors a published category-tree node.
+type treeNode struct {
+	label string
+	kids  []*treeNode
+}
+
+// relstate mirrors the RCU publication points of the real Relation.
+type relstate struct {
+	rows atomic.Pointer[[]int]
+	tree atomic.Pointer[treeNode]
+}
+
+// publishThenWrite stores the address of rows and then writes an element:
+// every reader that loaded the pointer sees the mutation.
+func publishThenWrite(r *relstate) {
+	next := make([]int, 8)
+	r.rows.Store(&next)
+	next[0] = 1 // want `write to next mutates next, published at line \d+`
+}
+
+// publishThenMutateField publishes a node pointer and then touches a field
+// through it.
+func publishThenMutateField(r *relstate) {
+	n := &treeNode{label: "a"}
+	r.tree.Store(n)
+	n.label = "b" // want `write to n.label mutates n, published at line \d+`
+}
+
+// publishThenAliasWrite mutates the published node through a second name;
+// the alias table folds both spellings onto the same storage.
+func publishThenAliasWrite(r *relstate) {
+	n := &treeNode{}
+	other := n
+	r.tree.Store(n)
+	other.label = "x" // want `write to n.label mutates n, published at line \d+`
+}
+
+// zeroInts writes through its parameter: its effect summary marks slot 0 as
+// mutated, so passing a frozen slice to it is a post-publish write.
+func zeroInts(xs []int) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// publishThenCallMutator mutates at a distance through the summary.
+func publishThenCallMutator(r *relstate) {
+	xs := make([]int, 4)
+	r.rows.Store(&xs)
+	zeroInts(xs) // want `call to zeroInts mutates xs, published at line \d+`
+}
+
+// publishThenAppend writes spare capacity shared with the published slice.
+func publishThenAppend(r *relstate) {
+	xs := make([]int, 0, 8)
+	r.rows.Store(&xs)
+	_ = append(xs, 1) // want `append/copy/clear writes the backing of xs, published at line \d+`
+}
+
+// publishAddrThenRebind rebinds a variable whose address was published:
+// readers hold &xs, so the rebind is a write to the published pointee.
+func publishAddrThenRebind(r *relstate) {
+	xs := make([]int, 1)
+	r.rows.Store(&xs)
+	xs = nil // want `write to xs after &xs was published at line \d+`
+}
+
+// branchPublish publishes on one arm only; the join is a union, because a
+// value published on either path is frozen afterwards.
+func branchPublish(r *relstate, hot bool) {
+	n := &treeNode{}
+	if hot {
+		r.tree.Store(n)
+	}
+	n.label = "late" // want `write to n.label mutates n, published at line \d+`
+}
+
+// cowExtend is the sanctioned discipline: build the successor completely,
+// publish it last, never touch it again. Must stay quiet.
+func cowExtend(r *relstate) {
+	old := r.tree.Load()
+	next := &treeNode{label: "v2"}
+	if old != nil {
+		next.kids = append(next.kids, old.kids...)
+	}
+	r.tree.Store(next)
+}
+
+// rebindContinues is the other legal idiom: publishing the value and then
+// re-pointing the name at fresh storage starts the next COW round.
+func rebindContinues(r *relstate) {
+	n := &treeNode{label: "gen1"}
+	r.tree.Store(n)
+	n = &treeNode{label: "gen2"}
+	n.label = "gen2-fixup"
+	r.tree.Store(n)
+}

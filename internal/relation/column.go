@@ -77,13 +77,18 @@ type numEntry struct {
 
 // columnCache holds the incrementally-maintained projections of a Relation.
 type columnCache struct {
-	mu     sync.Mutex
-	cat    map[string]*catEntry // keyed by lower-cased attribute name
-	num    map[string]*numEntry
+	mu sync.Mutex
+	//lint:guardedby mu
+	cat map[string]*catEntry // keyed by lower-cased attribute name
+	//lint:guardedby mu
+	num map[string]*numEntry
+	//lint:guardedby mu
 	sorted map[string]*numSorted
 	// identity is the cached full row list [0, 1, …, n-1] that Select(nil)
 	// and Browse return; extended in place (spare capacity) as rows append.
-	identity  []int
+	//lint:guardedby mu
+	identity []int
+	//lint:guardedby mu
 	idBacking []int
 }
 

@@ -94,11 +94,16 @@ type Quarantine struct {
 type diskSegment struct {
 	meta segMeta
 
-	mu     sync.Mutex
-	hdr    *segHeader
+	mu sync.Mutex
+	//lint:guardedby mu
+	hdr *segHeader
+	//lint:guardedby mu
 	hdrEnd int64
-	cols   []*segColumn // by attribute index; nil until loaded
-	bad    bool
+	//lint:guardedby mu
+	cols []*segColumn // by attribute index; nil until loaded
+	//lint:guardedby mu
+	bad bool
+	//lint:guardedby mu
 	reason string
 }
 
@@ -111,23 +116,33 @@ type Store struct {
 	schema *relation.Schema
 	opts   Options
 
-	mu      sync.Mutex
-	gen     uint64
+	mu sync.Mutex
+	//lint:guardedby mu
+	gen uint64
+	//lint:guardedby mu
 	segRows int
-	segs    []*diskSegment
-	tail    []relation.Tuple // untracked mode; tracked mode reads rel
-	rel     *relation.Relation
-	wal     *walWriter
-	closed  bool
-	failed  bool
+	//lint:guardedby mu
+	segs []*diskSegment
+	//lint:guardedby mu
+	tail []relation.Tuple // untracked mode; tracked mode reads rel
+	rel  *relation.Relation
+	//lint:guardedby mu
+	wal *walWriter
+	//lint:guardedby mu
+	closed bool
+	//lint:guardedby mu
+	failed bool
 	// sealCtx/sealErr thread the Append context and any spill failure
 	// through the tracked relation's seal hook, whose signature cannot
 	// carry them. Only touched with mu held, by the appending goroutine.
+	//lint:guardedby mu
 	sealCtx context.Context
+	//lint:guardedby mu
 	sealErr error
 
 	quarMu sync.Mutex
-	quar   []Quarantine
+	//lint:guardedby quarMu
+	quar []Quarantine
 
 	recoveredRows int
 	recoveredTorn bool
@@ -248,7 +263,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		// Header (zone maps, page directory) verifies now; column pages
 		// verify lazily on first map-in.
-		if err := s.ensureHeader(seg); err != nil {
+		if _, err := s.ensureHeader(seg); err != nil {
 			continue // quarantined inside
 		}
 	}
@@ -355,11 +370,15 @@ func (s *Store) quarantine(seg *diskSegment, reason string) {
 }
 
 // ensureHeader loads seg's header page if not yet present, quarantining on
-// damage. Caller must not hold seg.mu.
-func (s *Store) ensureHeader(seg *diskSegment) error {
+// damage, and returns it. Caller must not hold seg.mu; the returned header
+// is immutable, so callers read it without the lock.
+func (s *Store) ensureHeader(seg *diskSegment) (*segHeader, error) {
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
-	return s.ensureHeaderLocked(seg)
+	if err := s.ensureHeaderLocked(seg); err != nil {
+		return nil, err
+	}
+	return seg.hdr, nil
 }
 
 func (s *Store) ensureHeaderLocked(seg *diskSegment) error {
@@ -469,7 +488,10 @@ func (s *Store) AppendContext(ctx context.Context, t relation.Tuple) error {
 // onSeal is the tracked relation's seal hook: spill the newly sealed
 // span(s), one segment file per segRows. It runs synchronously inside
 // Store.Append (which holds s.mu), reading rows straight from the
-// relation's RCU snapshot.
+// relation's RCU snapshot — the relation package invokes it, so lockguard
+// cannot see the locked call site; the holds assertion records the contract.
+//
+//lint:holds mu
 func (s *Store) onSeal(lo, hi int) {
 	ctx := s.sealCtx
 	if ctx == nil {
@@ -607,20 +629,21 @@ func (s *Store) Quarantined() []Quarantine {
 	return append([]Quarantine(nil), s.quar...)
 }
 
-// snapshot returns the segment list and tail under the mutex; page I/O
-// happens outside it.
-func (s *Store) snapshot() (segs []*diskSegment, tail []relation.Tuple) {
+// snapshot returns the segment list, tail, and segment size under the
+// mutex; page I/O happens outside it.
+func (s *Store) snapshot() (segs []*diskSegment, tail []relation.Tuple, segRows int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	segRows = s.segRows
 	segs = append(segs, s.segs...)
 	if s.rel != nil {
 		n := s.rel.Len()
 		for i := s.wal.afterRows; i < n; i++ {
 			tail = append(tail, s.rel.Row(i))
 		}
-		return segs, tail
+		return segs, tail, segRows
 	}
-	return segs, s.tail[:len(s.tail):len(s.tail)]
+	return segs, s.tail[:len(s.tail):len(s.tail)], segRows
 }
 
 // Relation materializes the surviving rows — every non-quarantined sealed
@@ -629,9 +652,9 @@ func (s *Store) snapshot() (segs []*diskSegment, tail []relation.Tuple) {
 // read; a segment failing here is quarantined and skipped, so the result
 // is always the best currently-servable view.
 func (s *Store) Relation(name string) (*relation.Relation, error) {
-	segs, tail := s.snapshot()
+	segs, tail, segRows := s.snapshot()
 	rel := relation.New(name, s.schema)
-	if err := rel.SetSegmentRows(s.segRows); err != nil {
+	if err := rel.SetSegmentRows(segRows); err != nil {
 		return nil, err
 	}
 	total := 0
@@ -689,7 +712,7 @@ func (s *Store) segmentTuples(seg *diskSegment) ([]relation.Tuple, bool) {
 // Results are indices into the surviving row sequence, i.e. positions in
 // the relation Relation() would build at the same quarantine state.
 func (s *Store) Select(pred relation.Predicate) ([]int, error) {
-	segs, tail := s.snapshot()
+	segs, tail, _ := s.snapshot()
 	conj, supported := flattenPred(pred)
 
 	idx := []int{}
@@ -755,10 +778,10 @@ func flattenPred(pred relation.Predicate) ([]relation.Predicate, bool) {
 // selectSegment evaluates the conjuncts over one segment: zone-prune
 // first, then load only the referenced columns and intersect row-wise.
 func (s *Store) selectSegment(seg *diskSegment, conj []relation.Predicate, base int) ([]int, error) {
-	if err := s.ensureHeader(seg); err != nil {
+	hdr, err := s.ensureHeader(seg)
+	if err != nil {
 		return nil, err
 	}
-	hdr := seg.hdr
 	rows := hdr.Hi - hdr.Lo
 	for _, p := range conj {
 		prune, empty := s.zonePrunes(hdr, p)

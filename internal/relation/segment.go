@@ -76,8 +76,10 @@ type segment struct {
 
 	// mu guards the lazily-built zone maps below. Contention is one map
 	// lookup per (conjunct build, segment); builds happen once.
-	mu   sync.Mutex
+	mu sync.Mutex
+	//lint:guardedby mu
 	nums map[string]*numZone
+	//lint:guardedby mu
 	cats map[string]*catZone
 }
 

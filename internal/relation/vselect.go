@@ -81,8 +81,10 @@ type SelectStats struct {
 // vselState is the vectorized engine's per-relation mutable state: the
 // bounded conjunct-bitmap LRU and the selection counters.
 type vselState struct {
-	mu    sync.Mutex
-	ll    *list.List // front = most recently used
+	mu sync.Mutex
+	//lint:guardedby mu
+	ll *list.List // front = most recently used
+	//lint:guardedby mu
 	table map[string]*list.Element
 
 	selects    atomic.Uint64

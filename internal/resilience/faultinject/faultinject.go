@@ -109,11 +109,15 @@ func (f *Fault) String() string { return fmt.Sprintf("injected panic at %s", f.S
 
 // Injector holds the active rule set and a seeded PRNG.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
+	mu sync.Mutex
+	//lint:guardedby mu
+	rng *rand.Rand
+	//lint:guardedby mu
 	rules map[string]Rule
+	//lint:guardedby mu
 	fired map[string]uint64
-	hits  map[string]uint64
+	//lint:guardedby mu
+	hits map[string]uint64
 }
 
 // New builds an injector with a deterministic seed and no rules.

@@ -68,14 +68,20 @@ type Stats struct {
 // Cache is a bounded LRU with singleflight computation. Safe for concurrent
 // use. The zero value is not usable; call New.
 type Cache[V any] struct {
-	mu       sync.Mutex
-	cfg      Config
-	ll       *list.List // front = most recently used
-	table    map[string]*list.Element
-	byBase   map[string]*list.Element // newest entry per base key (DoStale)
+	mu  sync.Mutex
+	cfg Config // immutable after New
+	//lint:guardedby mu
+	ll *list.List // front = most recently used
+	//lint:guardedby mu
+	table map[string]*list.Element
+	//lint:guardedby mu
+	byBase map[string]*list.Element // newest entry per base key (DoStale)
+	//lint:guardedby mu
 	inflight map[string]*call[V]
-	bytes    int64
-	stats    Stats
+	//lint:guardedby mu
+	bytes int64
+	//lint:guardedby mu
+	stats Stats
 }
 
 type entry[V any] struct {
